@@ -1,0 +1,99 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Each ``test_figXX_*`` benchmark regenerates one figure of the paper at a
+laptop-scale size: it sweeps the figure's x-axis, prints the same
+(x, series) rows the paper plots, appends the table to
+``benchmarks/results/`` and asserts the robust qualitative shapes
+(finiteness; the headline monotonicity with generous slack).
+
+The paper's sizes (n up to 9e4 per point, 20 trials) would take hours;
+the ``SCALE`` constants below keep the full bench suite in minutes while
+preserving every trend.  Set the environment variable
+``REPRO_BENCH_FULL=1`` to run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.evaluation import format_series_table, shape_summary
+from repro.rng import spawn_rngs
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Trials per sweep point (the paper uses >= 20).
+N_TRIALS = 10 if FULL else 3
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_sweep(point: Callable[[object, object, np.random.Generator], float],
+              sweep_values: Sequence, series_values: Sequence,
+              n_trials: int = N_TRIALS, seed: int = 0
+              ) -> Dict[object, List[float]]:
+    """Average ``point(series, x, rng)`` over trials for each grid cell."""
+    out: Dict[object, List[float]] = {}
+    for si, series in enumerate(series_values):
+        curve = []
+        for xi, x in enumerate(sweep_values):
+            rngs = spawn_rngs(np.random.SeedSequence(seed, spawn_key=(si, xi)),
+                              n_trials)
+            curve.append(float(np.mean([point(series, x, rng) for rng in rngs])))
+        out[series] = curve
+    return out
+
+
+def emit_table(name: str, title: str, x_name: str, x_values: Sequence,
+               series: Dict[object, List[float]]) -> str:
+    """Print the figure table and persist it under benchmarks/results/."""
+    labelled = {f"{k}": v for k, v in series.items()}
+    table = format_series_table(x_name, list(x_values), labelled, title=title)
+    trends = "\n".join(
+        f"  series {label}: {shape_summary(list(x_values), values)}"
+        for label, values in labelled.items()
+    )
+    text = f"\n{table}\n{trends}\n"
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.txt", "a") as fh:
+        fh.write(text)
+    return text
+
+
+def assert_finite(series: Dict[object, List[float]]) -> None:
+    """Every swept value must be a finite number."""
+    for values in series.values():
+        assert np.all(np.isfinite(values)), f"non-finite bench values: {values}"
+
+
+def assert_trending_down(series: Dict[object, List[float]],
+                         slack: float = 0.15, floor: float = 0.05) -> None:
+    """End point must not exceed start point by more than the allowance.
+
+    DP runs are noisy at bench scale; we assert the robust end-to-end
+    trend rather than per-step monotonicity.  The allowance is
+    ``slack * max(|start|, floor)`` so the check stays meaningful when
+    values hover near (or below) zero.
+    """
+    for label, values in series.items():
+        allowance = slack * max(abs(values[0]), floor)
+        assert values[-1] <= values[0] + allowance + 1e-9, (
+            f"series {label} trends up: {values}"
+        )
+
+
+def assert_dimension_insensitive(series: Dict[object, List[float]],
+                                 factor: float = 4.0) -> None:
+    """Across series (dimensions), mean errors must stay within ``factor``.
+
+    This is the paper's headline log-d claim: d=200 vs d=800 curves
+    nearly coincide.  A poly(d) method would blow past any constant
+    factor.
+    """
+    means = [float(np.mean(v)) for v in series.values()]
+    lo = max(min(means), 1e-6)
+    assert max(means) <= factor * lo, f"dimension sensitivity too strong: {means}"

@@ -1,0 +1,61 @@
+"""Ablation — the Catoni scale ``s`` trade-off of Theorem 2.
+
+Too small a scale truncates aggressively (bias dominates); too large a
+scale inflates the exponential-mechanism sensitivity (privacy noise
+dominates).  We sweep multipliers around the theory-optimal scale and
+check the theory value sits near the bottom of the U-shape.
+"""
+
+import numpy as np
+
+from _common import FULL, assert_finite, emit_table, run_sweep
+from repro import (
+    DistributionSpec,
+    HeavyTailedDPFW,
+    L1Ball,
+    SquaredLoss,
+    l1_ball_truth,
+    make_linear_data,
+)
+
+LOSS = SquaredLoss()
+FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
+NOISE = DistributionSpec("gaussian", {"scale": 0.1})
+D = 40
+N = 20_000 if FULL else 8000
+MULTIPLIERS = [0.02, 0.2, 1.0, 5.0, 50.0]
+
+
+def _make(rng):
+    return make_linear_data(N, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
+
+
+def test_ablation_scale_parameter(benchmark):
+    base = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0)
+    theory_scale = base.resolve_schedule(N).scale
+    data0 = _make(np.random.default_rng(0))
+    benchmark.pedantic(
+        lambda: base.fit(data0.features, data0.labels,
+                         rng=np.random.default_rng(1)),
+        rounds=1, iterations=1,
+    )
+
+    def point(_, multiplier, rng):
+        data = _make(rng)
+        solver = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0,
+                                 scale=theory_scale * multiplier)
+        res = solver.fit(data.features, data.labels, rng=rng)
+        return (LOSS.value(res.w, data.features, data.labels)
+                - LOSS.value(data.w_star, data.features, data.labels))
+
+    table = run_sweep(point, MULTIPLIERS, ["excess_risk"], seed=210)
+    emit_table("ablation_scale",
+               f"Ablation: excess risk vs scale multiplier "
+               f"(theory s = {theory_scale:.2f})",
+               "s_multiplier", MULTIPLIERS, table)
+    assert_finite(table)
+    curve = table["excess_risk"]
+    at_theory = curve[MULTIPLIERS.index(1.0)]
+    # The theory scale must beat the extreme settings.
+    assert at_theory <= curve[0] * 1.2
+    assert at_theory <= curve[-1] * 1.2

@@ -1,0 +1,64 @@
+"""Extension — the conclusion's (1+v)-th moment open problem.
+
+Compares Algorithm 1's two gradient engines on data whose gradients only
+have a finite ~1.4-th moment (Pareto(1.45) features): the paper's
+smoothed Catoni estimator (analysed under *second* moments) against the
+shrink-then-average extension (``gradient_estimator="truncated"``),
+which is the natural estimator for the weak-moment regime.
+"""
+
+import numpy as np
+
+from _common import FULL, assert_finite, assert_trending_down, emit_table, run_sweep
+from repro import (
+    DistributionSpec,
+    HeavyTailedDPFW,
+    L1Ball,
+    SquaredLoss,
+    l1_ball_truth,
+    make_linear_data,
+)
+
+D = 30
+N_SWEEP = [20_000, 80_000] if FULL else [5000, 20_000]
+LOSS = SquaredLoss()
+# Pareto(1.45) features: E|x|^{1.4} finite, E x^2 infinite — squarely in
+# the open-problem regime where Assumption 1 fails.
+FEATURES = DistributionSpec("pareto", {"tail_index": 1.45})
+NOISE = DistributionSpec("gaussian", {"scale": 0.1})
+
+
+def _make(n, rng):
+    return make_linear_data(n, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
+
+
+def test_ext_weak_moments(benchmark):
+    data0 = _make(N_SWEEP[0], np.random.default_rng(0))
+    solver0 = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=3.0,
+                              gradient_estimator="truncated", moment_order=1.4)
+    benchmark.pedantic(
+        lambda: solver0.fit(data0.features, data0.labels,
+                            rng=np.random.default_rng(1)),
+        rounds=1, iterations=1,
+    )
+
+    def point(engine, n, rng):
+        data = _make(n, rng)
+        if engine == "truncated(v=0.4)":
+            solver = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=3.0,
+                                     gradient_estimator="truncated",
+                                     moment_order=1.4)
+        else:
+            solver = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=3.0)
+        res = solver.fit(data.features, data.labels, rng=rng)
+        return float(np.linalg.norm(res.w - data.w_star, ord=1))
+
+    table = run_sweep(point, N_SWEEP, ["truncated(v=0.4)", "catoni"], seed=310)
+    emit_table("ext_weak_moments",
+               "Extension: l1 parameter error under infinite-variance "
+               "features (Pareto 1.45)", "n", N_SWEEP, table)
+    assert_finite(table)
+    # Both engines must remain bounded (the l1 ball caps the damage) and
+    # the truncated engine must trend down with n.
+    assert_trending_down({"truncated(v=0.4)": table["truncated(v=0.4)"]},
+                         slack=0.4)

@@ -1,0 +1,107 @@
+"""Figure 1 — Algorithm 1 on linear regression with log-normal features.
+
+Paper setup: ``x ~ Lognormal(0, 0.6)``, label noise ``N(0, 0.1)``,
+``w*`` in the unit ℓ1 ball.  Three panels:
+(a) excess risk vs ε for several d at fixed n;
+(b) excess risk vs n for several d at ε = 1;
+(c) private vs non-private risk gap vs n at fixed d.
+"""
+
+import numpy as np
+
+from _common import (
+    FULL,
+    assert_dimension_insensitive,
+    assert_finite,
+    assert_trending_down,
+    emit_table,
+    run_sweep,
+)
+from repro import (
+    DistributionSpec,
+    HeavyTailedDPFW,
+    L1Ball,
+    SquaredLoss,
+    l1_ball_truth,
+    make_linear_data,
+)
+from repro.baselines import FrankWolfe
+
+LOSS = SquaredLoss()
+FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
+NOISE = DistributionSpec("gaussian", {"scale": 0.1})
+
+D_SERIES = [200, 400, 800] if FULL else [20, 80]
+N_FIXED = 10_000 if FULL else 3000
+EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
+N_SWEEP = [10_000, 30_000, 90_000] if FULL else [2000, 4000, 8000]
+D_FIXED = 400 if FULL else 40
+
+
+def _make(n, d, rng):
+    w_star = l1_ball_truth(d, rng)
+    return make_linear_data(n, w_star, FEATURES, NOISE, rng=rng)
+
+
+def _excess(w, data):
+    return (LOSS.value(w, data.features, data.labels)
+            - LOSS.value(data.w_star, data.features, data.labels))
+
+
+def _fit_private(data, epsilon, rng):
+    solver = HeavyTailedDPFW(LOSS, L1Ball(data.dimension), epsilon=epsilon,
+                             tau=5.0, schedule_mode="theory")
+    return solver.fit(data.features, data.labels, rng=rng).w
+
+
+def test_fig01_dpfw_linear(benchmark):
+    # Timing sample: one representative private fit.
+    timing_rng = np.random.default_rng(0)
+    timing_data = _make(N_FIXED, D_SERIES[0], timing_rng)
+    benchmark.pedantic(
+        lambda: _fit_private(timing_data, 1.0, np.random.default_rng(1)),
+        rounds=1, iterations=1,
+    )
+
+    # Panel (a): error vs epsilon, one curve per dimension.
+    def point_a(d, eps, rng):
+        data = _make(N_FIXED, d, rng)
+        return _excess(_fit_private(data, eps, rng), data)
+
+    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=10)
+    emit_table("fig01", "Figure 1(a): excess risk vs epsilon "
+               f"(n={N_FIXED}, linear, lognormal x)", "epsilon", EPS_SWEEP,
+               panel_a)
+    assert_finite(panel_a)
+    assert_trending_down(panel_a, slack=0.3)
+    assert_dimension_insensitive(panel_a)
+
+    # Panel (b): error vs n at eps = 1.
+    def point_b(d, n, rng):
+        data = _make(n, d, rng)
+        return _excess(_fit_private(data, 1.0, rng), data)
+
+    panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=11)
+    emit_table("fig01", "Figure 1(b): excess risk vs n (eps=1)", "n", N_SWEEP,
+               panel_b)
+    assert_finite(panel_b)
+    assert_trending_down(panel_b, slack=0.3)
+
+    # Panel (c): private vs non-private vs n at fixed d.
+    def point_c(kind, n, rng):
+        data = _make(n, D_FIXED, rng)
+        if kind == "private(eps=1)":
+            w = _fit_private(data, 1.0, rng)
+        else:
+            w = FrankWolfe(LOSS, L1Ball(D_FIXED), n_iterations=60).fit(
+                data.features, data.labels)
+        return _excess(w, data)
+
+    panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
+                        seed=12)
+    emit_table("fig01", f"Figure 1(c): private vs non-private (d={D_FIXED})",
+               "n", N_SWEEP, panel_c)
+    assert_finite(panel_c)
+    # Non-private must dominate the private fit at every n.
+    for i in range(len(N_SWEEP)):
+        assert panel_c["non-private"][i] <= panel_c["private(eps=1)"][i] + 1e-6

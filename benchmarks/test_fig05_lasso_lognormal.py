@@ -1,0 +1,98 @@
+"""Figure 5 — Algorithm 2 (Private LASSO) with log-normal features.
+
+Paper setup: ``x ~ Lognormal(0, 0.6)``, noise ``N(0, 0.1)``.  Panels:
+(a) excess risk vs ε per d (n fixed); (b) excess risk vs n per d
+(ε = 1); (c) private vs non-private vs n at d fixed.
+"""
+
+import numpy as np
+
+from _common import (
+    FULL,
+    assert_dimension_insensitive,
+    assert_finite,
+    assert_trending_down,
+    emit_table,
+    run_sweep,
+)
+from repro import (
+    DistributionSpec,
+    HeavyTailedPrivateLasso,
+    L1Ball,
+    SquaredLoss,
+    l1_ball_truth,
+    make_linear_data,
+)
+from repro.baselines import FrankWolfe
+
+LOSS = SquaredLoss()
+FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
+NOISE = DistributionSpec("gaussian", {"scale": 0.1})
+
+D_SERIES = [100, 200, 400] if FULL else [20, 80]
+N_FIXED = 10_000 if FULL else 4000
+EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
+N_SWEEP = [10_000, 30_000, 90_000] if FULL else [4000, 10_000, 24_000]
+D_FIXED = 200 if FULL else 40
+DELTA = 1e-5
+
+
+def _make(n, d, rng):
+    return make_linear_data(n, l1_ball_truth(d, rng), FEATURES, NOISE, rng=rng)
+
+
+def _excess(w, data):
+    return (LOSS.value(w, data.features, data.labels)
+            - LOSS.value(data.w_star, data.features, data.labels))
+
+
+def _fit(data, eps, rng):
+    solver = HeavyTailedPrivateLasso(L1Ball(data.dimension), epsilon=eps,
+                                     delta=DELTA)
+    return solver.fit(data.features, data.labels, rng=rng).w
+
+
+def test_fig05_lasso_lognormal(benchmark):
+    timing_data = _make(N_FIXED, D_SERIES[0], np.random.default_rng(0))
+    benchmark.pedantic(
+        lambda: _fit(timing_data, 1.0, np.random.default_rng(1)),
+        rounds=1, iterations=1,
+    )
+
+    def point_a(d, eps, rng):
+        data = _make(N_FIXED, d, rng)
+        return _excess(_fit(data, eps, rng), data)
+
+    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=50)
+    emit_table("fig05", f"Figure 5(a): LASSO excess risk vs eps (n={N_FIXED})",
+               "epsilon", EPS_SWEEP, panel_a)
+    assert_finite(panel_a)
+    assert_trending_down(panel_a, slack=0.5)  # paper notes Alg 2 is unstable
+    assert_dimension_insensitive(panel_a, factor=6.0)
+
+    def point_b(d, n, rng):
+        data = _make(n, d, rng)
+        return _excess(_fit(data, 1.0, rng), data)
+
+    panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=51)
+    emit_table("fig05", "Figure 5(b): LASSO excess risk vs n (eps=1)",
+               "n", N_SWEEP, panel_b)
+    assert_finite(panel_b)
+    assert_trending_down(panel_b, slack=0.5)
+
+    def point_c(kind, n, rng):
+        data = _make(n, D_FIXED, rng)
+        if kind == "private(eps=1)":
+            w = _fit(data, 1.0, rng)
+        else:
+            w = FrankWolfe(LOSS, L1Ball(D_FIXED), n_iterations=60).fit(
+                data.features, data.labels)
+        return _excess(w, data)
+
+    panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
+                        seed=52)
+    emit_table("fig05", f"Figure 5(c): private vs non-private (d={D_FIXED})",
+               "n", N_SWEEP, panel_c)
+    assert_finite(panel_c)
+    for i in range(len(N_SWEEP)):
+        assert panel_c["non-private"][i] <= panel_c["private(eps=1)"][i] + 1e-6

@@ -1,0 +1,39 @@
+"""Figure 11 — Algorithm 5 on regularised logistic regression,
+Laplace features.
+
+Paper setup: ``x ~ Laplace(5)``, latent noise log-gamma with c = 0.5.
+"""
+
+import numpy as np
+
+from _sparse_figs import logistic_sparse_panels
+from repro import (
+    DistributionSpec,
+    HeavyTailedSparseOptimizer,
+    L2Regularized,
+    LogisticLoss,
+    make_logistic_data,
+    sparse_truth,
+)
+
+FEATURES = DistributionSpec("laplace", {"scale": 5.0})
+NOISE = DistributionSpec("log_gamma", {"c": 0.5})
+
+
+def _loss():
+    return L2Regularized(LogisticLoss(), 0.01)
+
+
+def test_fig11_sparse_logistic_laplace(benchmark):
+    rng = np.random.default_rng(0)
+    w_star = sparse_truth(50, 5, rng, norm_bound=0.5)
+    data = make_logistic_data(6000, w_star, FEATURES, NOISE, rng=rng)
+    solver = HeavyTailedSparseOptimizer(_loss(), sparsity=5, epsilon=1.0,
+                                        delta=1e-5, tau=30.0)
+    benchmark.pedantic(
+        lambda: solver.fit(data.features, data.labels,
+                           rng=np.random.default_rng(1)),
+        rounds=1, iterations=1,
+    )
+    logistic_sparse_panels("fig11", FEATURES, NOISE, seed=110,
+                           loss_factory=_loss, tau=30.0)

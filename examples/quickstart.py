@@ -1,0 +1,58 @@
+"""Quickstart: private linear regression on heavy-tailed data.
+
+Generates the paper's Figure 1 setting (log-normal features, unit ℓ1
+ball), fits the ε-DP Heavy-tailed Frank–Wolfe solver (Algorithm 1) and
+compares its excess empirical risk against the non-private optimum.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DistributionSpec,
+    HeavyTailedDPFW,
+    L1Ball,
+    SquaredLoss,
+    l1_ball_truth,
+    make_linear_data,
+)
+from repro.baselines import FrankWolfe
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n, d = 30_000, 100
+
+    # 1. Heavy-tailed data: x ~ Lognormal(0, 0.6), y = <w*, x> + N(0, 0.1).
+    w_star = l1_ball_truth(d, rng)
+    data = make_linear_data(
+        n, w_star,
+        feature_spec=DistributionSpec("lognormal", {"sigma": 0.6}),
+        noise_spec=DistributionSpec("gaussian", {"scale": 0.1}),
+        rng=rng,
+    )
+    loss = SquaredLoss()
+    ball = L1Ball(d)
+
+    # 2. Non-private reference (Frank-Wolfe over the l1 ball).
+    w_fw = FrankWolfe(loss, ball, n_iterations=100).fit(data.features, data.labels)
+
+    # 3. The paper's Algorithm 1 at eps = 1 (pure DP).
+    solver = HeavyTailedDPFW(loss, ball, epsilon=1.0, tau=5.0)
+    result = solver.fit(data.features, data.labels, rng=rng)
+
+    risk_at = lambda w: loss.value(w, data.features, data.labels)
+    print(f"risk at w*            : {risk_at(w_star):.5f}")
+    print(f"risk non-private FW   : {risk_at(w_fw):.5f}")
+    print(f"risk private (eps=1)  : {risk_at(result.w):.5f}")
+    print(f"excess risk (private) : {risk_at(result.w) - risk_at(w_star):.5f}")
+    print()
+    print(f"iterations run        : {result.n_iterations}")
+    print(f"Catoni scale s        : {result.metadata['scale']:.2f}")
+    print(f"privacy guarantee     : {result.advertised_budget}")
+    print(f"ledger                : {result.accountant.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Robust and private mean estimation on heavy-tailed samples.
+
+Walks through the paper's statistical engine:
+
+1. the smoothed Catoni estimator (eqs. 1-5) vs empirical / trimmed /
+   median-of-means baselines on log-normal data with planted outliers;
+2. the ε-DP dense private mean (poly-d error) vs the (ε, δ)-DP sparse
+   private mean built on Peeling (log-d error);
+3. the Theorem 9 lower bound evaluated on the same configuration.
+
+Run with:  python examples/robust_mean_comparison.py
+"""
+
+import numpy as np
+
+from repro.estimators import (
+    CatoniEstimator,
+    PrivateSparseMeanEstimator,
+    empirical_mean,
+    median_of_means,
+    optimal_scale,
+    private_mean_catoni_laplace,
+    trimmed_mean,
+)
+from repro.lower_bound import lower_bound_rate
+
+
+def scalar_demo(rng: np.random.Generator) -> None:
+    n, truth = 20_000, float(np.exp(0.18))  # E Lognormal(0, .6)
+    x = rng.lognormal(mean=0.0, sigma=0.6, size=n)
+    x[:5] = 1e7  # a handful of gross outliers
+
+    catoni = CatoniEstimator(scale=optimal_scale(n, np.exp(0.72), 0.05))
+    print("scalar mean estimation (lognormal + 5 outliers of 1e7):")
+    print(f"  truth           : {truth:.4f}")
+    print(f"  empirical mean  : {empirical_mean(x):.4f}")  # destroyed
+    print(f"  trimmed mean    : {trimmed_mean(x, 0.05):.4f}")
+    print(f"  median-of-means : {median_of_means(x, 40, rng=rng):.4f}")
+    print(f"  smoothed Catoni : {catoni.estimate(x):.4f}")
+    print()
+
+
+def private_demo(rng: np.random.Generator) -> None:
+    n, d, s = 20_000, 400, 5
+    mean = np.zeros(d)
+    mean[:s] = 0.8
+    x = rng.normal(loc=mean, scale=1.0, size=(n, d))
+
+    dense = private_mean_catoni_laplace(x, epsilon=1.0, second_moment=2.0,
+                                        rng=rng)
+    sparse = PrivateSparseMeanEstimator(sparsity=s, epsilon=1.0, delta=1e-5,
+                                        second_moment=2.0).estimate(x, rng=rng)
+    print(f"private mean estimation (n={n}, d={d}, {s}-sparse mean):")
+    print(f"  dense eps-DP (Laplace on all d)  error^2: "
+          f"{np.sum((dense - mean) ** 2):.4f}")
+    print(f"  sparse (eps,delta)-DP (Peeling)  error^2: "
+          f"{np.sum((sparse - mean) ** 2):.4f}")
+    bound = lower_bound_rate(n, 1.0, 1e-5, d, s, tau=2.0)
+    print(f"  Theorem 9 lower-bound rate               : {bound:.6f}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    scalar_demo(rng)
+    private_demo(rng)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""DP-SCO over the probability simplex (the paper's other polytope).
+
+Section 4 motivates the polytope setting with "LASSO and minimization
+over probability simplex".  This example runs Algorithm 1 over the
+simplex: learning a convex mixture of heavy-tailed signals — e.g. a
+portfolio-style aggregation problem where the weights must be a
+probability vector and the returns are heavy-tailed.
+
+Run with:  python examples/simplex_estimation.py
+"""
+
+import numpy as np
+
+from repro import DistributionSpec, HeavyTailedDPFW, Simplex, SquaredLoss
+from repro.baselines import FrankWolfe
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    n, d = 40_000, 30
+
+    # True mixture weights on the simplex (sparse-ish: 4 active assets).
+    w_star = np.zeros(d)
+    active = rng.choice(d, size=4, replace=False)
+    w_star[active] = rng.dirichlet(np.ones(4))
+
+    # Heavy-tailed "signal matrix": lognormal columns with distinct means.
+    X = rng.lognormal(mean=0.0, sigma=0.8, size=(n, d))
+    y = X @ w_star + 0.05 * rng.normal(size=n)
+
+    loss = SquaredLoss()
+    simplex = Simplex(d)
+
+    w_fw = FrankWolfe(loss, simplex, n_iterations=150).fit(X, y)
+    risk = lambda w: loss.value(w, X, y)
+
+    print(f"risk at w*              : {risk(w_star):.5f}")
+    print(f"risk non-private FW     : {risk(w_fw):.5f}")
+    for eps in (0.5, 2.0, 8.0):
+        solver = HeavyTailedDPFW(loss, simplex, epsilon=eps, tau=20.0)
+        result = solver.fit(X, y, rng=rng)
+        feasible = simplex.contains(result.w, tol=1e-8)
+        top = np.argsort(result.w)[-4:]
+        overlap = len(set(top.tolist()) & set(active.tolist()))
+        print(f"risk private (eps={eps:>3g}) : {risk(result.w):.5f}   "
+              f"feasible={feasible}  top-4 overlap={overlap}/4")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Private sparse logistic regression over the ℓ0 ball (Algorithm 5).
+
+The Figure 10 setting: ℓ2-regularised logistic loss, Gaussian features,
+heavy-tailed latent noise.  Algorithm 5 estimates each gradient
+coordinate with the smoothed Catoni estimator and selects the support
+privately with Peeling.
+
+Run with:  python examples/sparse_logistic.py
+"""
+
+import numpy as np
+
+from repro import (
+    DistributionSpec,
+    HeavyTailedSparseOptimizer,
+    L2Regularized,
+    LogisticLoss,
+    make_logistic_data,
+)
+from repro.evaluation import classification_accuracy, support_recovery
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n, d, s_star = 40_000, 150, 6
+
+    w_star = np.zeros(d)
+    support = rng.choice(d, size=s_star, replace=False)
+    w_star[support] = rng.choice([-1.0, 1.0], size=s_star) * 0.4
+
+    data = make_logistic_data(
+        n, w_star,
+        DistributionSpec("gaussian", {"scale": 1.0}),
+        DistributionSpec("logistic", {"scale": 0.5}), rng=rng,
+    )
+    train, test = data.split(0.8, rng=rng)
+    loss = L2Regularized(LogisticLoss(), 0.01)
+
+    print(f"n={train.n_samples} train / {test.n_samples} test, d={d}, s*={s_star}")
+    print()
+    for eps in (2.0, 8.0, 32.0):
+        # Logistic gradients are bounded by |x| per coordinate, so a small
+        # explicit Catoni scale keeps the sensitivity (hence the Peeling
+        # noise) low without meaningful truncation bias.
+        solver = HeavyTailedSparseOptimizer(
+            loss, sparsity=s_star, epsilon=eps, delta=1e-5, tau=2.0,
+            expansion=1, n_iterations=12, scale=5.0,
+        )
+        result = solver.fit(train.features, train.labels, rng=rng)
+        rec = support_recovery(result.w, w_star)
+        acc = classification_accuracy(result.w, test.features, test.labels)
+        print(f"eps={eps:>5g}: support F1={rec['f1']:.2f}  "
+              f"test accuracy={acc:.3f}  "
+              f"risk={loss.value(result.w, test.features, test.labels):.4f}  "
+              f"({result.advertised_budget})")
+
+    base_acc = classification_accuracy(w_star, test.features, test.labels)
+    print(f"\noracle w* test accuracy: {base_acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Private sparse recovery with heavy-tailed label noise (Algorithm 3).
+
+Plants an s*-sparse signal, corrupts the labels with log-normal noise,
+and runs the truncated DP-IHT method at several privacy levels.  Prints
+support-recovery precision/recall and parameter error, plus the
+non-private IHT reference.
+
+Run with:  python examples/sparse_recovery.py
+"""
+
+import numpy as np
+
+from repro import (
+    DistributionSpec,
+    HeavyTailedSparseLinearRegression,
+    SquaredLoss,
+    make_linear_data,
+)
+from repro.baselines import IterativeHardThresholding
+from repro.evaluation import parameter_error, support_recovery
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n, d, s_star = 100_000, 100, 8
+
+    # Equal-magnitude planted support: the cleanest recovery target.
+    w_star = np.zeros(d)
+    support = rng.choice(d, size=s_star, replace=False)
+    w_star[support] = rng.choice([-1.0, 1.0], size=s_star) * 0.25
+
+    data = make_linear_data(
+        n, w_star,
+        DistributionSpec("gaussian", {"scale": 1.0}),
+        DistributionSpec("lognormal", {"sigma": 0.5}), rng=rng,
+    )
+
+    print(f"n={n}, d={d}, s*={s_star}, ||w*||_2={np.linalg.norm(w_star):.3f}")
+    print()
+    header = f"{'method':>28} | {'precision':>9} | {'recall':>7} | {'l2 error':>9}"
+    print(header)
+    print("-" * len(header))
+
+    iht = IterativeHardThresholding(SquaredLoss(), sparsity=s_star,
+                                    learning_rate=0.3, n_iterations=100)
+    w_iht = iht.fit(data.features, data.labels)
+    rec = support_recovery(w_iht, w_star)
+    print(f"{'non-private IHT':>28} | {rec['precision']:>9.2f} | "
+          f"{rec['recall']:>7.2f} | {parameter_error(w_iht, w_star):>9.4f}")
+
+    for eps in (0.5, 2.0, 8.0):
+        # The Theorem 7 threshold schedule targets heavy-tailed *features*;
+        # with Gaussian features a modest fixed K loses no signal and cuts
+        # the Peeling sensitivity sharply (see the truncation ablation).
+        solver = HeavyTailedSparseLinearRegression(
+            sparsity=s_star, epsilon=eps, delta=1e-5, expansion=1,
+            threshold=3.0)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        rec = support_recovery(result.w, w_star)
+        label = f"Alg 3 (eps={eps:g})"
+        print(f"{label:>28} | {rec['precision']:>9.2f} | "
+              f"{rec['recall']:>7.2f} | {parameter_error(result.w, w_star):>9.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — High Dimensional Differentially Private Stochastic Optimization
+with Heavy-tailed Data.
+
+A from-scratch reproduction of Hu, Ni, Xiao and Wang (arXiv:2107.11136):
+differentially private stochastic convex optimization when the dimension
+exceeds the sample size and the data (hence the gradients) are
+heavy-tailed.
+
+The package is organised as the paper is:
+
+* :mod:`repro.core` — Algorithms 1-5 (Heavy-tailed DP-FW, Private LASSO,
+  Private Sparse Linear Regression, Peeling, Private Sparse Optimization);
+* :mod:`repro.estimators` — the smoothed Catoni robust mean estimator
+  (eqs. 1-5) and the shrinkage pre-processing;
+* :mod:`repro.privacy` — mechanisms, budgets, composition, accounting;
+* :mod:`repro.geometry` — polytopes, linear oracles and projections;
+* :mod:`repro.losses` — squared / logistic / biweight / Huber losses;
+* :mod:`repro.data` — the Section 6 heavy-tailed data generators;
+* :mod:`repro.baselines` — non-private FW/IHT and regular-data DP methods;
+* :mod:`repro.lower_bound` — the Theorem 9 hard instances and Fano bound;
+* :mod:`repro.evaluation` — the repeated-trial experiment harness.
+
+Quick start::
+
+    import numpy as np
+    from repro import (
+        HeavyTailedDPFW, L1Ball, SquaredLoss, DistributionSpec,
+        make_linear_data, l1_ball_truth,
+    )
+
+    rng = np.random.default_rng(0)
+    w_star = l1_ball_truth(dimension=50, rng=rng)
+    data = make_linear_data(
+        5000, w_star, DistributionSpec("lognormal", {"sigma": 0.6}),
+        DistributionSpec("gaussian", {"scale": 0.1}), rng=rng,
+    )
+    solver = HeavyTailedDPFW(SquaredLoss(), L1Ball(50), epsilon=1.0)
+    result = solver.fit(data.features, data.labels, rng=rng)
+"""
+
+from .core import (
+    FitResult,
+    HeavyTailedDPFW,
+    HeavyTailedPrivateLasso,
+    HeavyTailedSparseLinearRegression,
+    HeavyTailedSparseOptimizer,
+    peeling,
+)
+from .data import (
+    DistributionSpec,
+    RegressionData,
+    l1_ball_truth,
+    load_real_like,
+    make_linear_data,
+    make_logistic_data,
+    sparse_truth,
+)
+from .estimators import CatoniEstimator, shrink
+from .geometry import L1Ball, Polytope, Simplex
+from .losses import (
+    BiweightLoss,
+    HuberLoss,
+    L2Regularized,
+    LogisticLoss,
+    SquaredLoss,
+)
+from .privacy import PrivacyAccountant, PrivacyBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiweightLoss",
+    "CatoniEstimator",
+    "DistributionSpec",
+    "FitResult",
+    "HeavyTailedDPFW",
+    "HeavyTailedPrivateLasso",
+    "HeavyTailedSparseLinearRegression",
+    "HeavyTailedSparseOptimizer",
+    "HuberLoss",
+    "L1Ball",
+    "L2Regularized",
+    "LogisticLoss",
+    "Polytope",
+    "PrivacyAccountant",
+    "PrivacyBudget",
+    "RegressionData",
+    "Simplex",
+    "SquaredLoss",
+    "l1_ball_truth",
+    "load_real_like",
+    "make_linear_data",
+    "make_logistic_data",
+    "peeling",
+    "shrink",
+    "sparse_truth",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baselines: non-private references and the regular-data DP methods.
+
+The paper's figures compare Heavy-tailed DP-FW / DP-IHT against
+non-private Frank–Wolfe and IHT; the ablations additionally compare
+against the regular-data DP-FW of Talwar et al. (clipped gradients) and
+gradient-clipping DP-SGD (Abadi et al.), the approaches the introduction
+argues break down on heavy tails.
+"""
+
+from .dp_fw_regular import RegularDPFrankWolfe
+from .dp_sgd import DPSGD
+from .frank_wolfe import FrankWolfe
+from .gradient_descent import GradientDescent
+from .iht import IterativeHardThresholding
+
+__all__ = [
+    "DPSGD",
+    "FrankWolfe",
+    "GradientDescent",
+    "IterativeHardThresholding",
+    "RegularDPFrankWolfe",
+]

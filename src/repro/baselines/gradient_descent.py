@@ -1,0 +1,60 @@
+"""Plain (projected) gradient descent — the simplest non-private reference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .._validation import check_dataset, check_positive, check_positive_int, check_vector
+from ..losses.base import Loss
+
+
+@dataclass
+class GradientDescent:
+    """Full-batch (projected) gradient descent.
+
+    Parameters
+    ----------
+    projection:
+        Optional feasibility map applied after each step.
+    tol:
+        Early-stop when the gradient ℓ2 norm falls below ``tol``.
+    """
+
+    loss: Loss
+    learning_rate: float = 0.1
+    n_iterations: int = 200
+    projection: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    tol: float = 0.0
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.learning_rate, "learning_rate")
+        check_positive_int(self.n_iterations, "n_iterations")
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            w0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Minimise the empirical risk; returns the final iterate."""
+        X, y = check_dataset(X, y)
+        d = X.shape[1]
+        w = np.zeros(d) if w0 is None else check_vector(w0, "w0", dim=d).copy()
+        if self.projection is not None:
+            w = self.projection(w)
+        iterates: List[np.ndarray] = [w.copy()]
+        risks: List[float] = [self.loss.value(w, X, y)]
+        for _ in range(self.n_iterations):
+            gradient = self.loss.gradient(w, X, y)
+            if self.tol > 0 and float(np.linalg.norm(gradient)) < self.tol:
+                break
+            w = w - self.learning_rate * gradient
+            if self.projection is not None:
+                w = self.projection(w)
+            if self.record_history:
+                iterates.append(w.copy())
+                risks.append(self.loss.value(w, X, y))
+        if self.record_history:
+            self.iterates_ = iterates
+            self.risks_ = risks
+        return w

@@ -1,0 +1,67 @@
+"""Non-private iterative hard thresholding (Jain, Tewari, Kar 2014).
+
+The non-private reference for Algorithms 3 and 5: full-batch gradient
+descent followed by projection onto the ℓ0 ball.  The sparse benches
+use it both as the "non-private" series and to compute a near-optimal
+``w*`` on finite data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import check_dataset, check_positive, check_positive_int, check_vector
+from ..geometry.projections import hard_threshold, project_l2_ball
+from ..losses.base import Loss
+
+
+@dataclass
+class IterativeHardThresholding:
+    """Full-batch IHT: ``w <- H_s(w - eta * grad L(w))``.
+
+    Parameters
+    ----------
+    sparsity:
+        The projection sparsity ``s``.
+    project_radius:
+        Optional ℓ2-ball radius applied after thresholding (``None``
+        disables the projection; Algorithm 3's analysis keeps iterates in
+        the unit ball).
+    """
+
+    loss: Loss
+    sparsity: int
+    learning_rate: float = 0.5
+    n_iterations: int = 100
+    project_radius: Optional[float] = None
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.sparsity, "sparsity")
+        check_positive(self.learning_rate, "learning_rate")
+        check_positive_int(self.n_iterations, "n_iterations")
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            w0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Minimise the empirical risk over the ℓ0 ball."""
+        X, y = check_dataset(X, y)
+        d = X.shape[1]
+        w = np.zeros(d) if w0 is None else check_vector(w0, "w0", dim=d).copy()
+        w = hard_threshold(w, self.sparsity)
+        iterates: List[np.ndarray] = [w.copy()]
+        risks: List[float] = [self.loss.value(w, X, y)]
+        for _ in range(self.n_iterations):
+            gradient = self.loss.gradient(w, X, y)
+            w = hard_threshold(w - self.learning_rate * gradient, self.sparsity)
+            if self.project_radius is not None:
+                w = project_l2_ball(w, self.project_radius)
+            if self.record_history:
+                iterates.append(w.copy())
+                risks.append(self.loss.value(w, X, y))
+        if self.record_history:
+            self.iterates_ = iterates
+            self.risks_ = risks
+        return w

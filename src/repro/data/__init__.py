@@ -1,0 +1,59 @@
+"""Data substrate: heavy-tailed samplers and the Section 6 generators."""
+
+from .distributions import (
+    DistributionSpec,
+    gaussian,
+    laplace,
+    log_gamma,
+    log_gamma_mean,
+    log_logistic,
+    logistic,
+    lognormal,
+    lognormal_moments,
+    pareto,
+    student_t,
+    student_t_second_moment,
+)
+from .moments import (
+    coordinate_second_moment,
+    gradient_second_moment,
+    kurtosis_report,
+    pairwise_fourth_moment,
+    response_fourth_moment,
+)
+from .real_like import REAL_DATASETS, RealDatasetSpec, load_real_like
+from .synthetic import (
+    RegressionData,
+    l1_ball_truth,
+    make_linear_data,
+    make_logistic_data,
+    sparse_truth,
+)
+
+__all__ = [
+    "DistributionSpec",
+    "REAL_DATASETS",
+    "RealDatasetSpec",
+    "RegressionData",
+    "coordinate_second_moment",
+    "gaussian",
+    "gradient_second_moment",
+    "kurtosis_report",
+    "l1_ball_truth",
+    "laplace",
+    "load_real_like",
+    "log_gamma",
+    "log_gamma_mean",
+    "log_logistic",
+    "logistic",
+    "lognormal",
+    "lognormal_moments",
+    "make_linear_data",
+    "make_logistic_data",
+    "pairwise_fourth_moment",
+    "pareto",
+    "response_fourth_moment",
+    "sparse_truth",
+    "student_t",
+    "student_t_second_moment",
+]

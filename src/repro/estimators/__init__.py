@@ -1,0 +1,59 @@
+"""Robust-statistics substrate: Catoni estimation, shrinkage, baselines.
+
+The heart of the paper's approach is that *bounded-influence* robust mean
+estimation gives bounded sensitivity for free.  This subpackage provides
+the smoothed Catoni–Giulini estimator (eqs. 1–5 and the appendix's
+``Ĉ(a,b)``), the entry-wise shrinkage pre-processing of Algorithms 2–3,
+non-private robust baselines, and private mean estimators assembled from
+these pieces.
+"""
+
+from .baseline_means import coordinatewise, empirical_mean, median_of_means, trimmed_mean
+from .catoni import (
+    PHI_BOUND,
+    PHI_KNEE,
+    CatoniEstimator,
+    correction_term,
+    optimal_scale,
+    phi,
+    smoothed_phi,
+    smoothed_phi_quadrature,
+)
+from .geometric_median import geometric_median_of_means, weiszfeld
+from .private_mean import PrivateSparseMeanEstimator, private_mean_catoni_laplace
+from .weak_moments import TruncatedMeanEstimator, optimal_truncation_threshold
+from .truncation import (
+    clip_l2,
+    lasso_threshold,
+    shrink,
+    shrink_dataset,
+    shrinkage_bias_bound,
+    sparse_regression_threshold,
+)
+
+__all__ = [
+    "CatoniEstimator",
+    "PHI_BOUND",
+    "PHI_KNEE",
+    "PrivateSparseMeanEstimator",
+    "TruncatedMeanEstimator",
+    "clip_l2",
+    "coordinatewise",
+    "correction_term",
+    "empirical_mean",
+    "geometric_median_of_means",
+    "lasso_threshold",
+    "median_of_means",
+    "optimal_scale",
+    "optimal_truncation_threshold",
+    "phi",
+    "private_mean_catoni_laplace",
+    "shrink",
+    "shrink_dataset",
+    "shrinkage_bias_bound",
+    "smoothed_phi",
+    "smoothed_phi_quadrature",
+    "sparse_regression_threshold",
+    "trimmed_mean",
+    "weiszfeld",
+]

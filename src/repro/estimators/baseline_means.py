@@ -1,0 +1,80 @@
+"""Non-private robust mean baselines.
+
+These estimators are *comparators* for the Catoni machinery: the tests
+and ablations use them to demonstrate why plain averaging fails on
+heavy-tailed data and to sanity-check the robust estimates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability, check_vector
+from ..rng import SeedLike, ensure_rng
+
+
+def empirical_mean(samples: np.ndarray) -> float:
+    """Plain sample mean — the estimator heavy tails break."""
+    x = check_vector(samples, "samples")
+    if x.size == 0:
+        raise ValueError("samples must be non-empty")
+    return float(np.mean(x))
+
+
+def trimmed_mean(samples: np.ndarray, trim_fraction: float = 0.1) -> float:
+    """Symmetrically trimmed mean.
+
+    Discards the ``trim_fraction`` smallest and largest samples before
+    averaging.  ``trim_fraction`` must lie in ``[0, 0.5)``.
+    """
+    x = check_vector(samples, "samples")
+    frac = check_probability(trim_fraction, "trim_fraction")
+    if frac >= 0.5:
+        raise ValueError(f"trim_fraction must be < 0.5, got {frac}")
+    if x.size == 0:
+        raise ValueError("samples must be non-empty")
+    k = int(math.floor(frac * x.size))
+    if k == 0:
+        return float(np.mean(x))
+    ordered = np.sort(x)
+    return float(np.mean(ordered[k:x.size - k]))
+
+
+def median_of_means(samples: np.ndarray, n_blocks: int = 8,
+                    rng: SeedLike = None) -> float:
+    """Median-of-means estimator.
+
+    Randomly partitions the samples into ``n_blocks`` near-equal blocks,
+    averages each block and returns the median of the block means.  This
+    is the classical sub-Gaussian-rate estimator for heavy-tailed data
+    (Minsker 2015 and references in the paper's related work).
+    """
+    x = check_vector(samples, "samples")
+    n_blocks = check_positive_int(n_blocks, "n_blocks")
+    if x.size == 0:
+        raise ValueError("samples must be non-empty")
+    n_blocks = min(n_blocks, x.size)
+    rng = ensure_rng(rng)
+    permuted = x[rng.permutation(x.size)]
+    blocks = np.array_split(permuted, n_blocks)
+    means = np.array([np.mean(block) for block in blocks])
+    return float(np.median(means))
+
+
+def coordinatewise(estimator, samples: np.ndarray, **kwargs) -> np.ndarray:
+    """Apply a scalar mean estimator independently to each column.
+
+    Parameters
+    ----------
+    estimator:
+        Any callable taking a 1-D array (plus ``kwargs``) and returning a
+        float, e.g. :func:`trimmed_mean`.
+    samples:
+        2-D array; columns are coordinates.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"samples must be 2-D, got shape {x.shape}")
+    return np.array([estimator(x[:, j], **kwargs) for j in range(x.shape[1])])

@@ -1,0 +1,80 @@
+"""Geometric median-of-means for vector-valued mean estimation (Minsker 2015).
+
+The related-work robust baseline the paper cites ([44]): split the
+sample into blocks, average each block, and return the *geometric
+median* of the block means
+
+.. math:: \\hat\\mu = \\arg\\min_z \\sum_k \\|z - \\bar x_k\\|_2,
+
+computed by Weiszfeld's algorithm.  Unlike the coordinate-wise
+estimators, its guarantee is stated in ℓ2 norm and it is equivariant
+under rotations; the tests contrast it with the Catoni engine on
+contaminated vector data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_matrix, check_positive, check_positive_int
+from ..rng import SeedLike, ensure_rng
+
+
+def weiszfeld(points: np.ndarray, max_iterations: int = 200,
+              tol: float = 1e-9) -> np.ndarray:
+    """Geometric median of a point cloud via Weiszfeld iteration.
+
+    Parameters
+    ----------
+    points:
+        ``(k, d)`` array of points.
+    max_iterations, tol:
+        Stop after ``max_iterations`` or when the iterate moves less
+        than ``tol`` in ℓ2.
+
+    Notes
+    -----
+    Uses the standard ε-regularised update so the iteration is
+    well-defined when the iterate lands on a data point.
+    """
+    pts = check_matrix(points, "points")
+    check_positive_int(max_iterations, "max_iterations")
+    check_positive(tol, "tol")
+    z = pts.mean(axis=0)
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(pts - z, axis=1)
+        distances = np.maximum(distances, 1e-12)
+        weights = 1.0 / distances
+        new_z = weights @ pts / weights.sum()
+        if np.linalg.norm(new_z - z) < tol:
+            return new_z
+        z = new_z
+    return z
+
+
+def geometric_median_of_means(samples: np.ndarray, n_blocks: int = 8,
+                              rng: SeedLike = None,
+                              max_iterations: int = 200) -> np.ndarray:
+    """Minsker's estimator: geometric median of random block means.
+
+    Parameters
+    ----------
+    samples:
+        ``(n, d)`` data matrix.
+    n_blocks:
+        Number of blocks ``k``; the estimator tolerates just under
+        ``k/2`` arbitrarily corrupted blocks.
+    """
+    x = check_matrix(samples, "samples")
+    check_positive_int(n_blocks, "n_blocks")
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("samples must be non-empty")
+    k = min(n_blocks, n)
+    rng = ensure_rng(rng)
+    permuted = x[rng.permutation(n)]
+    block_means = np.stack([block.mean(axis=0)
+                            for block in np.array_split(permuted, k)])
+    if k == 1:
+        return block_means[0]
+    return weiszfeld(block_means, max_iterations=max_iterations)

@@ -1,0 +1,31 @@
+"""Evaluation harness: metrics, repeated-trial runner, sweeps, tables."""
+
+from .ascii_plots import ascii_plot
+from .metrics import (
+    classification_accuracy,
+    excess_empirical_risk,
+    mean_squared_estimation_error,
+    parameter_error,
+    relative_risk_gap,
+    support_recovery,
+)
+from .runner import ExperimentRunner, TrialStats
+from .sweeps import SweepResult, sweep
+from .tables import format_series_table, markdown_table, shape_summary
+
+__all__ = [
+    "ExperimentRunner",
+    "ascii_plot",
+    "SweepResult",
+    "TrialStats",
+    "classification_accuracy",
+    "excess_empirical_risk",
+    "format_series_table",
+    "markdown_table",
+    "mean_squared_estimation_error",
+    "parameter_error",
+    "relative_risk_gap",
+    "shape_summary",
+    "support_recovery",
+    "sweep",
+]

@@ -1,0 +1,94 @@
+"""Dependency-free ASCII line plots for sweep results.
+
+The environment has no plotting stack, so the examples and benches can
+render figure panels directly in the terminal: one character column per
+x-value bucket, one marker per series.  Deliberately simple — good
+enough to eyeball the monotone/flat/growing shapes the paper's figures
+communicate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    """Map ``value`` in [low, high] to a row index in [0, cells-1]."""
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(round(fraction * (cells - 1)))))
+
+
+def ascii_plot(x_values: Sequence[float], series: Dict[str, Sequence[float]],
+               width: int = 64, height: int = 16, title: str = "",
+               logy: bool = False) -> str:
+    """Render series as an ASCII scatter-line plot.
+
+    Parameters
+    ----------
+    x_values:
+        Common x coordinates.
+    series:
+        Mapping ``label -> y values`` (same length as ``x_values``).
+    logy:
+        Plot ``log10(y)``; non-positive values are dropped from the plot
+        (noted in the legend).
+    """
+    labels = list(series)
+    if not labels:
+        raise ValueError("series is empty")
+    for label in labels:
+        if len(series[label]) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(series[label])} values for "
+                f"{len(x_values)} x points"
+            )
+
+    def transform(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    points = []  # (col, row-value, marker-index)
+    all_y: List[float] = []
+    dropped = 0
+    xs = [float(x) for x in x_values]
+    x_low, x_high = min(xs), max(xs)
+    for mi, label in enumerate(labels):
+        for x, y in zip(xs, series[label]):
+            y = float(y)
+            if logy and y <= 0:
+                dropped += 1
+                continue
+            ty = transform(y)
+            col = _scale(x, x_low, x_high, width)
+            points.append((col, ty, mi))
+            all_y.append(ty)
+    if not all_y:
+        raise ValueError("no plottable points (all dropped by logy)")
+    y_low, y_high = min(all_y), max(all_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    for col, ty, mi in points:
+        row = height - 1 - _scale(ty, y_low, y_high, height)
+        grid[row][col] = _MARKERS[mi % len(_MARKERS)]
+
+    def fmt(v: float) -> str:
+        return f"{10**v:.3g}" if logy else f"{v:.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{fmt(y_high):>9} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + " |" + "".join(row) + "|")
+    lines.append(f"{fmt(y_low):>9} +" + "-" * width + "+")
+    lines.append(" " * 11 + f"{x_values[0]!s:<{width // 2}}{x_values[-1]!s:>{width // 2}}")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {label}"
+                        for i, label in enumerate(labels))
+    lines.append(" " * 11 + legend)
+    if dropped:
+        lines.append(" " * 11 + f"({dropped} non-positive points dropped by logy)")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Parameter sweeps — the (x-axis, series) structure of the paper's figures.
+
+Every panel in Figures 1–11 is "error versus one swept variable, one
+curve per value of a second variable".  :func:`sweep` captures exactly
+that: it evaluates a point function on the product of the sweep values
+and the series values and returns a :class:`SweepResult` whose
+``format_table`` output is what the benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..rng import SeedLike
+from .runner import ExperimentRunner, TrialStats
+
+#: point(series_value, sweep_value, rng) -> scalar error.
+PointFn = Callable[[object, object, np.random.Generator], float]
+
+
+@dataclass
+class SweepResult:
+    """The data behind one figure panel.
+
+    Attributes
+    ----------
+    sweep_name, series_name:
+        Axis labels (e.g. ``"epsilon"`` and ``"d"``).
+    sweep_values:
+        The x-axis values.
+    series:
+        Mapping from series value (e.g. a dimension) to the list of
+        per-x :class:`TrialStats`.
+    """
+
+    sweep_name: str
+    series_name: str
+    sweep_values: List[object]
+    series: Dict[object, List[TrialStats]] = field(default_factory=dict)
+
+    def means(self, series_value: object) -> np.ndarray:
+        """Mean-error curve for one series."""
+        return np.array([stat.mean for stat in self.series[series_value]])
+
+    def format_table(self, title: str = "", float_format: str = "{:.5f}"
+                     ) -> str:
+        """Render the panel as the aligned text table the benches print."""
+        header_cells = [f"{self.sweep_name:>12}"] + [
+            f"{self.series_name}={value!s:>8}" for value in self.series
+        ]
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(" | ".join(header_cells))
+        lines.append("-" * len(lines[-1]))
+        for i, x in enumerate(self.sweep_values):
+            cells = [f"{x!s:>12}"]
+            for value in self.series:
+                cells.append(f"{float_format.format(self.series[value][i].mean):>{len(f'{self.series_name}={value!s:>8}')}}")
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+    def is_decreasing(self, series_value: object, slack: float = 0.0) -> bool:
+        """Whether the mean curve decreases from first to last x (with slack).
+
+        The benches' shape checks use end-point comparison rather than
+        full monotonicity because individual DP runs are noisy.
+        """
+        curve = self.means(series_value)
+        return bool(curve[-1] <= curve[0] * (1.0 + slack) - 0.0)
+
+
+def sweep(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
+          series_name: str, series_values: Sequence[object],
+          n_trials: int = 5, seed: SeedLike = 0) -> SweepResult:
+    """Evaluate ``point`` over the sweep × series grid with repeats.
+
+    Seeds are derived per grid cell so that (a) every cell is independent
+    and (b) rerunning a sweep with the same root seed is reproducible.
+    """
+    result = SweepResult(sweep_name=sweep_name, series_name=series_name,
+                         sweep_values=list(sweep_values))
+    for series_value in series_values:
+        stats_list: List[TrialStats] = []
+        for i, sweep_value in enumerate(sweep_values):
+            cell_seed = np.random.SeedSequence(
+                entropy=seed if isinstance(seed, int) else 0,
+                spawn_key=(hash(str(series_value)) & 0xFFFF, i),
+            )
+            runner = ExperimentRunner(n_trials=n_trials, seed=cell_seed)
+            stats_list.append(
+                runner.run(lambda rng, sv=series_value, xv=sweep_value: point(sv, xv, rng))
+            )
+        result.series[series_value] = stats_list
+    return result

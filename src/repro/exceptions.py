@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from privacy-accounting
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm or mechanism received an invalid parameter.
+
+    Raised for non-positive privacy budgets, empty datasets, mismatched
+    shapes and similar caller mistakes.  Inherits from :class:`ValueError`
+    so generic validation code keeps working.
+    """
+
+
+class PrivacyBudgetError(ReproError, RuntimeError):
+    """A privacy accountant was asked to exceed its allotted budget."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A result attribute was requested before ``fit`` was called."""
+
+
+class DataShapeError(ConfigurationError):
+    """Feature/label arrays have incompatible or unexpected shapes."""

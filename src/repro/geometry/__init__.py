@@ -1,0 +1,24 @@
+"""Constraint-set substrate: polytopes, linear oracles, projections."""
+
+from .polytope import L1Ball, Polytope, Simplex, hypercube
+from .projections import (
+    hard_threshold,
+    project_l1_ball,
+    project_l2_ball,
+    project_simplex,
+    restrict_to_support,
+    support,
+)
+
+__all__ = [
+    "L1Ball",
+    "Polytope",
+    "Simplex",
+    "hard_threshold",
+    "hypercube",
+    "project_l1_ball",
+    "project_l2_ball",
+    "project_simplex",
+    "restrict_to_support",
+    "support",
+]

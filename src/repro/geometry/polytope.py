@@ -1,0 +1,241 @@
+"""Vertex-represented polytopes and linear minimisation oracles.
+
+Frank–Wolfe methods (Algorithms 1 and 2 of the paper) only interact with
+the constraint set through two operations: enumerate its vertices (the
+candidate set of the exponential mechanism) and minimise a linear
+function over it.  A :class:`Polytope` packages both, together with the
+ℓ1 diameter ``||W||_1`` that appears in every sensitivity bound.
+
+For the ℓ1 ball and the simplex the vertex sets are structured
+(``±e_j`` and ``e_j``), so :class:`L1Ball` and :class:`Simplex` avoid
+materialising a dense vertex matrix and score vertices directly from the
+gradient — the ``O(d)`` trick that makes the high-dimensional
+experiments feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_matrix, check_positive, check_positive_int, check_vector
+
+
+class Polytope:
+    """A polytope given as the convex hull of an explicit vertex matrix.
+
+    Parameters
+    ----------
+    vertices:
+        ``(n_vertices, d)`` array; the constraint set is its convex hull.
+    """
+
+    def __init__(self, vertices: np.ndarray):
+        self._vertices = check_matrix(vertices, "vertices")
+        if self._vertices.shape[0] == 0:
+            raise ValueError("a polytope needs at least one vertex")
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension ``d``."""
+        return self._vertices.shape[1]
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self._vertices.shape[0]
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """A read-only view of the vertex matrix."""
+        view = self._vertices.view()
+        view.flags.writeable = False
+        return view
+
+    def vertex(self, index: int) -> np.ndarray:
+        """Return vertex ``index`` as a fresh array."""
+        return self._vertices[index].copy()
+
+    def l1_diameter(self) -> float:
+        """``max_{u,v in V} ||u - v||_1`` — the ``||W||_1`` of the paper.
+
+        Computed over vertices, which is exact because the ℓ1 norm is
+        convex and therefore maximised at extreme points.
+        """
+        V = self._vertices
+        if V.shape[0] == 1:
+            return 0.0
+        diffs = np.abs(V[:, None, :] - V[None, :, :]).sum(axis=2)
+        return float(diffs.max())
+
+    def vertex_scores(self, gradient: np.ndarray) -> np.ndarray:
+        """Scores ``u(v) = -<v, g>`` for every vertex (Algorithm 1 step 6)."""
+        g = check_vector(gradient, "gradient", dim=self.dimension)
+        return -self._vertices @ g
+
+    def linear_minimizer(self, gradient: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Exact linear minimisation oracle: ``argmin_{v in V} <v, g>``."""
+        scores = self.vertex_scores(gradient)
+        index = int(np.argmax(scores))
+        return index, self.vertex(index)
+
+    def initial_point(self) -> np.ndarray:
+        """A canonical feasible starting point (the vertex centroid)."""
+        return self._vertices.mean(axis=0)
+
+    def contains(self, point: np.ndarray, *, tol: float = 1e-8) -> bool:
+        """Membership test by solving the convex-combination least squares.
+
+        Exact for the structured subclasses (which override it); for a
+        generic vertex polytope we solve a small nonnegative least squares
+        via scipy and check the residual.
+        """
+        from scipy.optimize import nnls
+
+        p = check_vector(point, "point", dim=self.dimension)
+        # Augment with the sum-to-one constraint: find lambda >= 0 with
+        # V^T lambda = p, 1^T lambda = 1.
+        A = np.vstack([self._vertices.T, np.ones(self.n_vertices)])
+        b = np.concatenate([p, [1.0]])
+        _, residual = nnls(A, b)
+        return bool(residual <= tol * max(1.0, float(np.linalg.norm(b))))
+
+
+class L1Ball(Polytope):
+    """The scaled ℓ1 ball ``{w : ||w||_1 <= radius}``.
+
+    Vertices are ``±radius * e_j``; scoring and minimisation run in
+    ``O(d)`` without materialising the ``2d x d`` vertex matrix.
+    Vertex indices are laid out as ``j`` for ``+radius*e_j`` and
+    ``d + j`` for ``-radius*e_j``.
+    """
+
+    def __init__(self, dimension: int, radius: float = 1.0):
+        self._dim = check_positive_int(dimension, "dimension")
+        self._radius = check_positive(radius, "radius")
+
+    @property
+    def dimension(self) -> int:
+        return self._dim
+
+    @property
+    def radius(self) -> float:
+        """The ℓ1 radius of the ball."""
+        return self._radius
+
+    @property
+    def n_vertices(self) -> int:
+        return 2 * self._dim
+
+    @property
+    def vertices(self) -> np.ndarray:
+        eye = np.eye(self._dim)
+        return np.vstack([self._radius * eye, -self._radius * eye])
+
+    def vertex(self, index: int) -> np.ndarray:
+        if not 0 <= index < 2 * self._dim:
+            raise IndexError(f"vertex index {index} out of range [0, {2 * self._dim})")
+        v = np.zeros(self._dim)
+        if index < self._dim:
+            v[index] = self._radius
+        else:
+            v[index - self._dim] = -self._radius
+        return v
+
+    def l1_diameter(self) -> float:
+        return 2.0 * self._radius
+
+    def vertex_scores(self, gradient: np.ndarray) -> np.ndarray:
+        g = check_vector(gradient, "gradient", dim=self._dim)
+        return np.concatenate([-self._radius * g, self._radius * g])
+
+    def linear_minimizer(self, gradient: np.ndarray) -> Tuple[int, np.ndarray]:
+        g = check_vector(gradient, "gradient", dim=self._dim)
+        j = int(np.argmax(np.abs(g)))
+        index = j + self._dim if g[j] > 0 else j
+        return index, self.vertex(index)
+
+    def initial_point(self) -> np.ndarray:
+        """The origin — the centre of the ℓ1 ball."""
+        return np.zeros(self._dim)
+
+    def contains(self, point: np.ndarray, *, tol: float = 1e-8) -> bool:
+        p = check_vector(point, "point", dim=self._dim)
+        return bool(np.abs(p).sum() <= self._radius * (1 + tol))
+
+
+class Simplex(Polytope):
+    """The scaled probability simplex ``{w >= 0 : sum w = radius}``.
+
+    Vertices are ``radius * e_j``.
+    """
+
+    def __init__(self, dimension: int, radius: float = 1.0):
+        self._dim = check_positive_int(dimension, "dimension")
+        self._radius = check_positive(radius, "radius")
+
+    @property
+    def dimension(self) -> int:
+        return self._dim
+
+    @property
+    def radius(self) -> float:
+        """The common coordinate sum of all points in the simplex."""
+        return self._radius
+
+    @property
+    def n_vertices(self) -> int:
+        return self._dim
+
+    @property
+    def vertices(self) -> np.ndarray:
+        return self._radius * np.eye(self._dim)
+
+    def vertex(self, index: int) -> np.ndarray:
+        if not 0 <= index < self._dim:
+            raise IndexError(f"vertex index {index} out of range [0, {self._dim})")
+        v = np.zeros(self._dim)
+        v[index] = self._radius
+        return v
+
+    def l1_diameter(self) -> float:
+        if self._dim == 1:
+            return 0.0
+        return 2.0 * self._radius
+
+    def vertex_scores(self, gradient: np.ndarray) -> np.ndarray:
+        g = check_vector(gradient, "gradient", dim=self._dim)
+        return -self._radius * g
+
+    def linear_minimizer(self, gradient: np.ndarray) -> Tuple[int, np.ndarray]:
+        g = check_vector(gradient, "gradient", dim=self._dim)
+        index = int(np.argmin(g))
+        return index, self.vertex(index)
+
+    def initial_point(self) -> np.ndarray:
+        """The barycentre ``radius/d * (1, ..., 1)``."""
+        return np.full(self._dim, self._radius / self._dim)
+
+    def contains(self, point: np.ndarray, *, tol: float = 1e-8) -> bool:
+        p = check_vector(point, "point", dim=self._dim)
+        non_negative = bool(np.all(p >= -tol * self._radius))
+        sums = abs(float(p.sum()) - self._radius) <= tol * max(1.0, self._radius)
+        return non_negative and sums
+
+
+def hypercube(dimension: int, radius: float = 1.0) -> Polytope:
+    """The ℓ∞ ball ``[-radius, radius]^d`` as an explicit vertex polytope.
+
+    Only sensible for small ``d`` (``2^d`` vertices); used in tests and
+    as an example of a generic polytope constraint.
+    """
+    check_positive_int(dimension, "dimension")
+    check_positive(radius, "radius")
+    if dimension > 16:
+        raise ValueError("hypercube vertex enumeration is limited to d <= 16")
+    corners = np.array(
+        [[radius if (mask >> j) & 1 else -radius for j in range(dimension)]
+         for mask in range(2**dimension)]
+    )
+    return Polytope(corners)

@@ -1,0 +1,99 @@
+"""Euclidean projections and sparse projections.
+
+The paper's algorithms need three projections:
+
+* ℓ2 ball — step 7 of Algorithm 3 (``Pi_W`` onto the unit ball);
+* ℓ1 ball — used to generate feasible ``w*`` and initial points for the
+  polytope experiments (Duchi-Shalev-Shwartz-Singer-Chandra algorithm);
+* ℓ0 "projection" (hard thresholding) — the non-private reference for
+  the Peeling step, and the non-private IHT baseline.
+
+All functions return fresh arrays and never modify their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_non_negative, check_positive, check_vector
+
+
+def project_l2_ball(point: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Euclidean projection onto ``{w : ||w||_2 <= radius}``."""
+    check_positive(radius, "radius")
+    w = check_vector(point, "point")
+    norm = float(np.linalg.norm(w))
+    if norm <= radius:
+        return w.copy()
+    return w * (radius / norm)
+
+
+def project_l1_ball(point: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Euclidean projection onto ``{w : ||w||_1 <= radius}``.
+
+    Implements the ``O(d log d)`` sort-based algorithm of Duchi et al.
+    (2008): project ``|w|`` onto the simplex of radius ``radius`` and
+    restore signs.
+    """
+    check_positive(radius, "radius")
+    w = check_vector(point, "point")
+    if np.abs(w).sum() <= radius:
+        return w.copy()
+    return np.sign(w) * project_simplex(np.abs(w), radius)
+
+
+def project_simplex(point: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Euclidean projection onto ``{w >= 0 : sum w = radius}``."""
+    check_positive(radius, "radius")
+    v = check_vector(point, "point")
+    u = np.sort(v)[::-1]
+    cumulative = np.cumsum(u) - radius
+    indices = np.arange(1, v.size + 1)
+    mask = u - cumulative / indices > 0
+    if not mask.any():
+        # All mass at a single coordinate (can only happen via numerics).
+        out = np.zeros_like(v)
+        out[int(np.argmax(v))] = radius
+        return out
+    rho = int(np.nonzero(mask)[0][-1])
+    theta = cumulative[rho] / (rho + 1.0)
+    return np.maximum(v - theta, 0.0)
+
+
+def hard_threshold(point: np.ndarray, sparsity: int) -> np.ndarray:
+    """Keep the ``sparsity`` largest-magnitude entries, zero the rest.
+
+    This is the Euclidean projection onto the (non-convex) ℓ0 ball
+    ``{w : ||w||_0 <= s}`` — the non-private counterpart of Peeling.
+    Ties are broken by (stable) index order, matching ``argpartition``.
+    """
+    w = check_vector(point, "point")
+    if sparsity < 0 or int(sparsity) != sparsity:
+        raise ValueError(f"sparsity must be a non-negative integer, got {sparsity!r}")
+    s = int(sparsity)
+    if s == 0:
+        return np.zeros_like(w)
+    if s >= w.size:
+        return w.copy()
+    keep = np.argpartition(np.abs(w), w.size - s)[w.size - s:]
+    out = np.zeros_like(w)
+    out[keep] = w[keep]
+    return out
+
+
+def support(point: np.ndarray, *, tol: float = 0.0) -> np.ndarray:
+    """Indices of the (numerically) non-zero coordinates of ``point``."""
+    w = check_vector(point, "point")
+    check_non_negative(tol, "tol")
+    return np.nonzero(np.abs(w) > tol)[0]
+
+
+def restrict_to_support(point: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Zero every coordinate of ``point`` outside ``indices`` (``v_S`` in the paper)."""
+    w = check_vector(point, "point")
+    idx = np.asarray(indices, dtype=int)
+    if idx.size and (idx.min() < 0 or idx.max() >= w.size):
+        raise IndexError("support indices out of range")
+    out = np.zeros_like(w)
+    out[idx] = w[idx]
+    return out

@@ -1,0 +1,29 @@
+"""Loss-function substrate: the losses the paper evaluates.
+
+Squared loss (LASSO, Algorithms 2/3), logistic loss (Figures 2/4/10/11),
+the Tukey biweight robust-regression loss (Assumption 2 / Theorem 3),
+a Huber comparator, and an ℓ2-regularisation wrapper (the GLM family of
+Section 5.2).
+"""
+
+from .base import Loss, MarginLoss, finite_difference_gradient
+from .curvature import estimate_curvature, gram_top_eigenvalue
+from .huber import HuberLoss
+from .logistic import LogisticLoss, sigmoid
+from .regularized import L2Regularized
+from .robust_regression import BiweightLoss
+from .squared import SquaredLoss
+
+__all__ = [
+    "BiweightLoss",
+    "HuberLoss",
+    "L2Regularized",
+    "LogisticLoss",
+    "Loss",
+    "MarginLoss",
+    "SquaredLoss",
+    "estimate_curvature",
+    "finite_difference_gradient",
+    "gram_top_eigenvalue",
+    "sigmoid",
+]

@@ -1,0 +1,118 @@
+"""The loss-function protocol shared by every optimizer in the library.
+
+A :class:`Loss` exposes the empirical risk and its gradient at three
+granularities:
+
+* :meth:`Loss.value` — the mean loss over a batch (the empirical risk
+  ``\\hat L(w, D)`` of Definition 4);
+* :meth:`Loss.gradient` — the mean gradient (what non-private solvers
+  consume);
+* :meth:`Loss.per_sample_gradients` — the ``(n, d)`` matrix of
+  per-sample gradients (what the Catoni coordinate-wise estimator in
+  Algorithms 1 and 5 consumes — it needs the raw per-sample values, not
+  their average).
+
+Generalised-linear losses (everything in the paper) factor through the
+margin ``z_i = <x_i, w>``; :class:`MarginLoss` implements the batching
+once, so concrete losses only provide the scalar link ``psi`` and its
+derivative.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._validation import check_dataset, check_vector
+
+
+class Loss(ABC):
+    """Abstract empirical-risk interface.
+
+    All methods take ``(w, X, y)`` with ``X`` of shape ``(n, d)`` and
+    ``y`` of shape ``(n,)`` and never mutate their arguments.
+    """
+
+    #: Human-readable name used in experiment reports.
+    name: str = "loss"
+
+    @abstractmethod
+    def per_sample_values(self, w: np.ndarray, X: np.ndarray,
+                          y: np.ndarray) -> np.ndarray:
+        """Vector of ``ell(w, z_i)`` values, shape ``(n,)``."""
+
+    @abstractmethod
+    def per_sample_gradients(self, w: np.ndarray, X: np.ndarray,
+                             y: np.ndarray) -> np.ndarray:
+        """Matrix of per-sample gradients ``grad ell(w, z_i)``, shape ``(n, d)``."""
+
+    def value(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss over the batch (the empirical risk)."""
+        return float(np.mean(self.per_sample_values(w, X, y)))
+
+    def gradient(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Mean gradient over the batch."""
+        return np.mean(self.per_sample_gradients(w, X, y), axis=0)
+
+    def excess_risk(self, w: np.ndarray, w_star: np.ndarray,
+                    X: np.ndarray, y: np.ndarray) -> float:
+        """``L(w) - L(w*)`` on the given (evaluation) batch."""
+        return self.value(w, X, y) - self.value(w_star, X, y)
+
+
+class MarginLoss(Loss):
+    """A loss of the form ``ell(w, (x, y)) = psi(<x, w>, y)``.
+
+    Subclasses implement the scalar :meth:`link` and its derivative
+    :meth:`link_derivative` in the margin ``z = <x, w>``; this base class
+    provides the vectorised batch plumbing, including
+
+    .. math:: \\nabla \\ell(w, (x, y)) = \\psi'(\\langle x, w\\rangle, y)\\, x
+
+    which is what the per-coordinate robust gradient estimator consumes.
+    """
+
+    @abstractmethod
+    def link(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Scalar loss as a function of the margin ``z`` and label ``y``."""
+
+    @abstractmethod
+    def link_derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Derivative of :meth:`link` in ``z``."""
+
+    def margins(self, w: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """The margins ``X @ w``."""
+        return np.asarray(X, dtype=float) @ np.asarray(w, dtype=float)
+
+    def per_sample_values(self, w: np.ndarray, X: np.ndarray,
+                          y: np.ndarray) -> np.ndarray:
+        X, y = check_dataset(X, y, self.name)
+        w = check_vector(w, "w", dim=X.shape[1])
+        return self.link(self.margins(w, X), y)
+
+    def per_sample_gradients(self, w: np.ndarray, X: np.ndarray,
+                             y: np.ndarray) -> np.ndarray:
+        X, y = check_dataset(X, y, self.name)
+        w = check_vector(w, "w", dim=X.shape[1])
+        slopes = self.link_derivative(self.margins(w, X), y)
+        return slopes[:, None] * X
+
+    def gradient(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # X^T slopes / n avoids materialising the (n, d) per-sample matrix.
+        X, y = check_dataset(X, y, self.name)
+        w = check_vector(w, "w", dim=X.shape[1])
+        slopes = self.link_derivative(self.margins(w, X), y)
+        return X.T @ slopes / X.shape[0]
+
+
+def finite_difference_gradient(loss: Loss, w: np.ndarray, X: np.ndarray,
+                               y: np.ndarray, step: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``loss.value`` — a testing oracle."""
+    w = np.asarray(w, dtype=float)
+    grad = np.zeros_like(w)
+    for j in range(w.size):
+        bump = np.zeros_like(w)
+        bump[j] = step
+        grad[j] = (loss.value(w + bump, X, y) - loss.value(w - bump, X, y)) / (2 * step)
+    return grad

@@ -1,0 +1,38 @@
+"""Huber loss — a convex robust-regression comparator.
+
+Not used by the paper's theorems directly, but a natural additional
+example of a smooth loss whose gradient has bounded coordinate second
+moments under heavy-tailed designs; the examples and ablations use it to
+show the library's API is loss-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+from .base import MarginLoss
+
+
+class HuberLoss(MarginLoss):
+    """Huber loss on the residual ``<x, w> - y``.
+
+    ``t^2 / 2`` for ``|t| <= delta`` and ``delta(|t| - delta/2)`` beyond.
+    The derivative is the clipped residual, so ``|psi'| <= delta``.
+    """
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        self.delta = check_positive(delta, "delta")
+
+    def link(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        t = np.asarray(z, dtype=float) - np.asarray(y, dtype=float)
+        abs_t = np.abs(t)
+        quadratic = 0.5 * t**2
+        linear = self.delta * (abs_t - 0.5 * self.delta)
+        return np.where(abs_t <= self.delta, quadratic, linear)
+
+    def link_derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
+        t = np.asarray(z, dtype=float) - np.asarray(y, dtype=float)
+        return np.clip(t, -self.delta, self.delta)

@@ -1,0 +1,29 @@
+"""Lower-bound machinery: packings, hard instances, the private Fano bound."""
+
+from .hard_instance import (
+    HardInstance,
+    lower_bound_rate,
+    make_hard_family,
+    paper_mixing_weight,
+    private_fano_bound,
+)
+from .packing import (
+    greedy_packing,
+    hamming_distance,
+    packing_lower_bound,
+    random_sparse_sign_vector,
+    verify_packing,
+)
+
+__all__ = [
+    "HardInstance",
+    "greedy_packing",
+    "hamming_distance",
+    "lower_bound_rate",
+    "make_hard_family",
+    "packing_lower_bound",
+    "paper_mixing_weight",
+    "private_fano_bound",
+    "random_sparse_sign_vector",
+    "verify_packing",
+]

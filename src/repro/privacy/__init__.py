@@ -1,0 +1,45 @@
+"""Differential-privacy substrate: budgets, mechanisms, accounting.
+
+This subpackage contains everything the paper's algorithms need to be
+*private*: the ``(epsilon, delta)`` budget algebra (including the
+advanced composition theorem, Lemma 2 of the paper), the Laplace /
+Gaussian / Exponential mechanisms (Definitions 2 and 3), report-noisy-max,
+and a ledger-style accountant that records what each run actually spent.
+"""
+
+from .accountant import LedgerEntry, PrivacyAccountant
+from .budget import (
+    PrivacyBudget,
+    advanced_composition_step,
+    advanced_composition_total,
+)
+from .renyi import (
+    DEFAULT_ORDERS,
+    RenyiAccountant,
+    calibrate_noise_multiplier,
+    gaussian_rdp,
+    rdp_to_dp,
+)
+from .mechanisms import (
+    ExponentialMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    report_noisy_max,
+)
+
+__all__ = [
+    "DEFAULT_ORDERS",
+    "ExponentialMechanism",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "LedgerEntry",
+    "RenyiAccountant",
+    "PrivacyAccountant",
+    "PrivacyBudget",
+    "advanced_composition_step",
+    "advanced_composition_total",
+    "calibrate_noise_multiplier",
+    "gaussian_rdp",
+    "rdp_to_dp",
+    "report_noisy_max",
+]

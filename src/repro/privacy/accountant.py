@@ -1,0 +1,98 @@
+"""Ledger-style privacy accounting.
+
+Every private algorithm in :mod:`repro.core` records each mechanism
+invocation in a :class:`PrivacyAccountant`.  The accountant enforces a
+cap when one is configured and can always report the budget actually
+consumed, which the integration tests compare against each algorithm's
+advertised guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..exceptions import PrivacyBudgetError
+from .budget import PrivacyBudget
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded mechanism invocation."""
+
+    mechanism: str
+    budget: PrivacyBudget
+    note: str = ""
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks mechanism invocations under basic sequential composition.
+
+    Parameters
+    ----------
+    cap:
+        Optional hard budget.  When set, :meth:`spend` raises
+        :class:`~repro.exceptions.PrivacyBudgetError` on any charge that
+        would push the basic-composition total past the cap.
+
+    Notes
+    -----
+    The accountant intentionally uses *basic* composition for its running
+    total: algorithms that rely on advanced composition (Algorithms 2, 3
+    and 5 of the paper) compute their per-step budget via
+    :func:`repro.privacy.budget.advanced_composition_step` up front and
+    register a single "advanced composition group" covering all steps, so
+    the ledger total always equals the advertised end-to-end guarantee.
+    """
+
+    cap: Optional[PrivacyBudget] = None
+    entries: List[LedgerEntry] = field(default_factory=list)
+
+    def spend(self, budget: PrivacyBudget, mechanism: str, note: str = "") -> None:
+        """Record a charge, enforcing the cap if one is set."""
+        prospective_eps = self.total_epsilon + budget.epsilon
+        prospective_delta = self.total_delta + budget.delta
+        if self.cap is not None:
+            prospective = PrivacyBudget(prospective_eps, prospective_delta)
+            if not self.cap.covers(prospective):
+                raise PrivacyBudgetError(
+                    f"charge {budget} by {mechanism!r} would exceed cap {self.cap} "
+                    f"(already spent ({self.total_epsilon:g}, {self.total_delta:g}))"
+                )
+        self.entries.append(LedgerEntry(mechanism=mechanism, budget=budget, note=note))
+
+    @property
+    def total_epsilon(self) -> float:
+        """Basic-composition ε consumed so far."""
+        return float(sum(entry.budget.epsilon for entry in self.entries))
+
+    @property
+    def total_delta(self) -> float:
+        """Basic-composition δ consumed so far."""
+        return float(sum(entry.budget.delta for entry in self.entries))
+
+    @property
+    def total(self) -> Optional[PrivacyBudget]:
+        """Total consumed budget, or ``None`` when nothing was spent."""
+        if not self.entries:
+            return None
+        return PrivacyBudget(self.total_epsilon, self.total_delta)
+
+    def remaining(self) -> Optional[PrivacyBudget]:
+        """Budget left under the cap, or ``None`` when no cap is set."""
+        if self.cap is None:
+            return None
+        eps = self.cap.epsilon - self.total_epsilon
+        delta = self.cap.delta - self.total_delta
+        if eps <= 0:
+            return None
+        return PrivacyBudget(eps, max(delta, 0.0))
+
+    def summary(self) -> str:
+        """Human-readable multi-line ledger dump."""
+        lines = [f"PrivacyAccountant(cap={self.cap}, spent={self.total})"]
+        for i, entry in enumerate(self.entries):
+            suffix = f" -- {entry.note}" if entry.note else ""
+            lines.append(f"  [{i:3d}] {entry.mechanism}: {entry.budget}{suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.evaluation import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        out = ascii_plot([1, 2], {"alpha": [1.0, 2.0]}, title="hello")
+        assert "hello" in out
+        assert "o alpha" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot([1, 8], {"s": [0.5, 4.0]})
+        assert "0.5" in out and "4" in out  # y range endpoints
+        assert "1" in out and "8" in out    # x endpoints
+
+    def test_markers_distinct_per_series(self):
+        out = ascii_plot([1, 2], {"a": [1.0, 1.0], "b": [2.0, 2.0]})
+        assert "o a" in out and "x b" in out
+        assert "o" in out and "x" in out
+
+    def test_monotone_series_renders_monotone(self):
+        out = ascii_plot([1, 2, 3, 4], {"down": [4.0, 3.0, 2.0, 1.0]},
+                         width=40, height=8)
+        rows = [line for line in out.splitlines() if "|" in line]
+        # first marker appears in an earlier row (higher value) than last
+        first_col_rows = [i for i, r in enumerate(rows) if r.strip(" |").startswith("o")]
+        assert first_col_rows  # the top-left marker exists
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"a": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {})
+
+    def test_logy_drops_nonpositive(self):
+        out = ascii_plot([1, 2, 3], {"a": [0.0, 1.0, 10.0]}, logy=True)
+        assert "dropped" in out
+
+    def test_logy_all_dropped_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"a": [0.0, -1.0]}, logy=True)
+
+    def test_constant_series_safe(self):
+        out = ascii_plot([1, 2], {"flat": [3.0, 3.0]})
+        assert "flat" in out
+
+    def test_dimensions(self):
+        out = ascii_plot([1, 2], {"a": [1.0, 2.0]}, width=30, height=5)
+        grid_rows = [line for line in out.splitlines()
+                     if line.strip().startswith("|")]
+        assert len(grid_rows) == 5

@@ -1,0 +1,97 @@
+"""Cross-estimator behavioural contrasts.
+
+These tests pin the *relative* behaviour of the estimation engines —
+the facts the paper's design rests on — rather than any single
+estimator's accuracy:
+
+* bounded-influence estimators survive contamination that destroys the
+  empirical mean;
+* the Catoni scale controls a bias/influence trade-off monotonically;
+* the truncated-mean engine degrades gracefully as the moment order
+  drops (smaller thresholds, heavier shrinkage).
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimators import (
+    CatoniEstimator,
+    TruncatedMeanEstimator,
+    empirical_mean,
+    geometric_median_of_means,
+    median_of_means,
+    optimal_truncation_threshold,
+    trimmed_mean,
+)
+
+
+@pytest.fixture
+def contaminated(rng):
+    """Lognormal sample with 1% gross contamination; true mean e^{0.18}."""
+    x = rng.lognormal(sigma=0.6, size=10_000)
+    n_bad = 100
+    x[:n_bad] = 1e6
+    return x, float(np.exp(0.18))
+
+
+class TestContaminationSurvival:
+    def test_empirical_mean_destroyed(self, contaminated):
+        x, truth = contaminated
+        assert abs(empirical_mean(x) - truth) > 1000
+
+    @pytest.mark.parametrize("estimator", [
+        lambda x, rng: CatoniEstimator(scale=10.0).estimate(x),
+        lambda x, rng: TruncatedMeanEstimator(threshold=20.0).estimate(x),
+        lambda x, rng: trimmed_mean(x, 0.05),
+        lambda x, rng: median_of_means(x, 400, rng=rng),
+    ], ids=["catoni", "truncated", "trimmed", "mom"])
+    def test_robust_estimators_survive(self, contaminated, estimator, rng):
+        x, truth = contaminated
+        assert abs(estimator(x, rng) - truth) < 0.5
+
+    def test_geometric_median_of_means_vector(self, rng):
+        x = rng.lognormal(sigma=0.6, size=(10_000, 3))
+        x[:20] = 1e6
+        est = geometric_median_of_means(x, 200, rng=rng)
+        np.testing.assert_allclose(est, np.exp(0.18) * np.ones(3), atol=0.5)
+
+
+class TestScaleTradeoff:
+    def test_small_scale_biases_toward_zero(self, rng):
+        """Aggressive truncation shrinks the estimate toward zero."""
+        x = rng.normal(loc=5.0, scale=0.5, size=5000)
+        tiny = CatoniEstimator(scale=0.5).estimate(x)
+        large = CatoniEstimator(scale=500.0).estimate(x)
+        assert tiny < large
+        assert large == pytest.approx(5.0, abs=0.1)
+        assert tiny < 1.0  # hard truncation bias
+
+    def test_sensitivity_monotone_in_scale(self):
+        scales = [0.5, 1.0, 5.0, 50.0]
+        sens = [CatoniEstimator(scale=s).sensitivity(100) for s in scales]
+        assert all(a < b for a, b in zip(sens, sens[1:]))
+
+    def test_catoni_and_truncated_agree_on_bounded_data(self, rng):
+        """With scales far above the data range both engines are the mean."""
+        x = rng.uniform(-1, 1, size=2000)
+        catoni = CatoniEstimator(scale=1000.0).estimate(x)
+        truncated = TruncatedMeanEstimator(threshold=1000.0).estimate(x)
+        assert catoni == pytest.approx(truncated, abs=1e-6)
+        assert catoni == pytest.approx(float(np.mean(x)), abs=1e-6)
+
+
+class TestMomentOrderBehaviour:
+    def test_threshold_monotone_in_order(self):
+        """At fixed budget, assuming heavier tails (smaller v) prescribes a
+        larger threshold — less aggressive truncation of rare spikes whose
+        contribution to the mean matters more."""
+        orders = [1.2, 1.5, 1.8, 2.0]
+        thresholds = [optimal_truncation_threshold(10_000, 1.0, o)
+                      for o in orders]
+        assert all(a > b for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_error_bound_worsens_for_heavier_tails(self):
+        est = TruncatedMeanEstimator(threshold=50.0)
+        light = est.error_bound(10_000, 2.0, 1.0, 0.05)
+        heavy = est.error_bound(10_000, 1.2, 1.0, 0.05)
+        assert heavy > light

@@ -1,0 +1,70 @@
+"""Tests for curvature (smoothness constant) estimation."""
+
+import numpy as np
+import pytest
+
+from repro.losses import (
+    L2Regularized,
+    LogisticLoss,
+    SquaredLoss,
+    estimate_curvature,
+    gram_top_eigenvalue,
+)
+
+
+class TestGramTopEigenvalue:
+    def test_identity_design(self, rng):
+        X = rng.normal(size=(50_000, 3))
+        assert gram_top_eigenvalue(X) == pytest.approx(1.0, rel=0.05)
+
+    def test_factor_applied(self, rng):
+        X = rng.normal(size=(1000, 3))
+        assert gram_top_eigenvalue(X, factor=2.0) == pytest.approx(
+            2.0 * gram_top_eigenvalue(X, factor=1.0))
+
+    def test_scaled_features(self, rng):
+        X = 3.0 * rng.normal(size=(50_000, 2))
+        assert gram_top_eigenvalue(X) == pytest.approx(9.0, rel=0.05)
+
+
+class TestEstimateCurvature:
+    def test_matches_squared_loss_hessian(self, rng):
+        X = rng.normal(size=(2000, 5))
+        y = rng.normal(size=2000)
+        exact = SquaredLoss().smoothness(X)
+        estimated = estimate_curvature(SquaredLoss(), X, y, rng=rng)
+        # 5% inflation is built in; allow a loose band around exact.
+        assert exact * 0.9 <= estimated <= exact * 1.3
+
+    def test_ridge_raises_curvature(self, rng):
+        X = rng.normal(size=(1000, 4))
+        y = rng.choice([-1.0, 1.0], size=1000)
+        base = estimate_curvature(LogisticLoss(), X, y, rng=rng)
+        ridged = estimate_curvature(L2Regularized(LogisticLoss(), 5.0), X, y,
+                                    rng=rng)
+        assert ridged > base
+
+    def test_subsampling_path(self, rng):
+        X = rng.normal(size=(6000, 3))
+        y = rng.normal(size=6000)
+        out = estimate_curvature(SquaredLoss(), X, y, max_rows=500, rng=rng)
+        assert out > 0
+
+    def test_positive_on_flat_loss(self, rng):
+        """Even a loss with (near) zero Hessian returns a positive floor."""
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+
+        class FlatLoss(SquaredLoss):
+            def gradient(self, w, X, y):
+                return np.zeros(X.shape[1])
+
+        assert estimate_curvature(FlatLoss(), X, y, rng=rng) > 0
+
+    def test_invalid_args(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        with pytest.raises(ValueError):
+            estimate_curvature(SquaredLoss(), X, y, n_power_iterations=0)
+        with pytest.raises(ValueError):
+            estimate_curvature(SquaredLoss(), X, y, fd_step=0.0)

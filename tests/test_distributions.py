@@ -1,0 +1,125 @@
+"""Tests for the heavy-tailed samplers and their moment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DistributionSpec,
+    log_gamma,
+    log_gamma_mean,
+    log_logistic,
+    lognormal,
+    lognormal_moments,
+    pareto,
+    student_t,
+    student_t_second_moment,
+)
+
+
+class TestLognormal:
+    def test_moments_formula(self):
+        mean, second = lognormal_moments(0.0, 0.6)
+        assert mean == pytest.approx(np.exp(0.18))
+        assert second == pytest.approx(np.exp(0.72))
+
+    def test_empirical_moments(self, rng):
+        x = lognormal(rng, 200_000, sigma=0.6)
+        mean, second = lognormal_moments(0.0, 0.6)
+        assert x.mean() == pytest.approx(mean, rel=0.02)
+        assert np.mean(x**2) == pytest.approx(second, rel=0.05)
+
+    def test_positive(self, rng):
+        assert np.all(lognormal(rng, 1000) > 0)
+
+
+class TestStudentT:
+    def test_second_moment(self, rng):
+        x = student_t(rng, 400_000, df=10)
+        assert np.mean(x**2) == pytest.approx(student_t_second_moment(10), rel=0.05)
+
+    def test_moment_formula_requires_df(self):
+        with pytest.raises(ValueError):
+            student_t_second_moment(2.0)
+
+    def test_heavier_than_gaussian(self, rng):
+        x = student_t(rng, 200_000, df=5)
+        kurtosis = np.mean(x**4) / np.mean(x**2) ** 2
+        assert kurtosis > 3.5  # Gaussian kurtosis is 3
+
+
+class TestLogLogistic:
+    def test_positive(self, rng):
+        assert np.all(log_logistic(rng, 1000, c=0.5) > 0)
+
+    def test_median_is_one(self, rng):
+        # CDF(1) = 1/2 for every shape c.
+        x = log_logistic(rng, 100_000, c=0.8)
+        assert np.median(x) == pytest.approx(1.0, rel=0.05)
+
+    def test_extreme_tail_for_small_c(self, rng):
+        """c=0.1 has no finite mean: the max dwarfs the median."""
+        x = log_logistic(rng, 50_000, c=0.1)
+        assert x.max() > 1e6 * np.median(x)
+
+
+class TestLogGamma:
+    def test_mean_is_digamma(self, rng):
+        x = log_gamma(rng, 300_000, c=0.5)
+        assert x.mean() == pytest.approx(log_gamma_mean(0.5), abs=0.02)
+
+    def test_left_skew(self, rng):
+        x = log_gamma(rng, 100_000, c=0.5)
+        centered = x - x.mean()
+        skew = np.mean(centered**3) / np.mean(centered**2) ** 1.5
+        assert skew < -0.5
+
+
+class TestPareto:
+    def test_support(self, rng):
+        assert np.all(pareto(rng, 1000, tail_index=2.5) >= 1.0)
+
+    def test_tail_index_controls_heaviness(self, rng):
+        light = pareto(rng, 100_000, tail_index=5.0)
+        heavy = pareto(rng, 100_000, tail_index=1.2)
+        assert np.quantile(heavy, 0.999) > np.quantile(light, 0.999)
+
+
+class TestDistributionSpec:
+    def test_known_samplers(self, rng):
+        for name in ("lognormal", "student_t", "log_logistic", "log_gamma",
+                     "logistic", "laplace", "gaussian", "pareto"):
+            spec = DistributionSpec(name)
+            assert spec.sample(rng, 10).shape == (10,)
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionSpec("cauchy")
+
+    def test_params_forwarded(self, rng):
+        spec = DistributionSpec("gaussian", {"scale": 10.0})
+        x = spec.sample(rng, 100_000)
+        assert x.std() == pytest.approx(10.0, rel=0.02)
+
+    def test_matrix_shape(self, rng):
+        assert DistributionSpec("lognormal").sample(rng, (5, 7)).shape == (5, 7)
+
+    def test_centered_sample_lognormal(self, rng):
+        spec = DistributionSpec("lognormal", {"sigma": 0.5})
+        x = spec.centered_sample(rng, 300_000)
+        assert abs(x.mean()) < 0.02
+
+    def test_centered_sample_log_gamma(self, rng):
+        spec = DistributionSpec("log_gamma", {"c": 0.5})
+        x = spec.centered_sample(rng, 300_000)
+        assert abs(x.mean()) < 0.05
+
+    def test_centered_sample_gaussian_uses_loc(self, rng):
+        spec = DistributionSpec("gaussian", {"scale": 1.0})
+        x = spec.centered_sample(rng, 100_000)
+        assert abs(x.mean()) < 0.02
+
+    def test_centered_sample_log_logistic_uses_median(self, rng):
+        # Infinite mean: centering must still return finite values.
+        spec = DistributionSpec("log_logistic", {"c": 0.1})
+        x = spec.centered_sample(rng, 1000)
+        assert np.all(np.isfinite(x))

@@ -1,0 +1,37 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed
+end-to-end so the documented entry points cannot silently rot.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute inside the unit-test suite.
+FAST_EXAMPLES = ["privacy_accounting.py", "robust_mean_comparison.py"]
+
+
+def test_examples_exist():
+    assert len(ALL_EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"

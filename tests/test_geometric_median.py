@@ -1,0 +1,77 @@
+"""Tests for the geometric median-of-means vector estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import geometric_median_of_means, weiszfeld
+
+
+class TestWeiszfeld:
+    def test_single_point(self):
+        p = np.array([[1.0, 2.0]])
+        np.testing.assert_allclose(weiszfeld(p), [1.0, 2.0])
+
+    def test_collinear_median(self):
+        # Geometric median of 3 collinear points is the middle one.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        np.testing.assert_allclose(weiszfeld(pts), [1.0, 0.0], atol=1e-4)
+
+    def test_symmetric_configuration(self):
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        np.testing.assert_allclose(weiszfeld(pts), [0.0, 0.0], atol=1e-8)
+
+    def test_minimizes_sum_of_distances(self, rng):
+        pts = rng.normal(size=(30, 4))
+        z = weiszfeld(pts)
+        objective = lambda q: np.sum(np.linalg.norm(pts - q, axis=1))
+        base = objective(z)
+        for _ in range(20):
+            probe = z + rng.normal(scale=0.1, size=4)
+            assert base <= objective(probe) + 1e-8
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            weiszfeld(np.ones((2, 2)), max_iterations=0)
+        with pytest.raises(ValueError):
+            weiszfeld(np.ones(3))
+
+
+class TestGeometricMedianOfMeans:
+    def test_clean_gaussian(self, rng):
+        mean = np.array([1.0, -2.0, 0.5])
+        x = rng.normal(loc=mean, size=(20_000, 3))
+        est = geometric_median_of_means(x, 10, rng=rng)
+        np.testing.assert_allclose(est, mean, atol=0.1)
+
+    def test_robust_to_corrupted_blocks(self, rng):
+        mean = np.zeros(2)
+        x = rng.normal(loc=mean, size=(5000, 2))
+        # MoM tolerates corrupted *blocks*: 5 outliers can spoil at most
+        # 5 of the 30 blocks, well under the k/2 breakdown point.
+        x[:5] = 1e9
+        est = geometric_median_of_means(x, 30, rng=rng)
+        np.testing.assert_allclose(est, mean, atol=0.5)
+
+    def test_rotation_equivariance(self, rng):
+        """Unlike coordinate-wise estimators, GMoM commutes with rotations."""
+        x = rng.standard_t(df=3, size=(4000, 2))
+        theta = 0.7
+        R = np.array([[np.cos(theta), -np.sin(theta)],
+                      [np.sin(theta), np.cos(theta)]])
+        a = geometric_median_of_means(x @ R.T, 16, rng=np.random.default_rng(1))
+        b = R @ geometric_median_of_means(x, 16, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(a, b, atol=0.05)
+
+    def test_single_block_is_mean(self, rng):
+        x = rng.normal(size=(100, 3))
+        est = geometric_median_of_means(x, 1, rng=rng)
+        np.testing.assert_allclose(est, x.mean(axis=0))
+
+    def test_blocks_clamped_to_n(self, rng):
+        x = rng.normal(size=(5, 2))
+        est = geometric_median_of_means(x, 100, rng=rng)
+        assert est.shape == (2,)
+
+    def test_rejects_bad_input(self, rng):
+        with pytest.raises(ValueError):
+            geometric_median_of_means(np.ones(5), 4, rng=rng)

@@ -1,0 +1,107 @@
+"""Tests for the theory-driven hyper-parameter schedules."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    classic_fw_steps,
+    dpfw_schedule,
+    lasso_schedule,
+    sparse_linear_schedule,
+    sparse_optimization_schedule,
+)
+
+
+class TestClassicSteps:
+    def test_first_step(self):
+        assert classic_fw_steps(3)[0] == pytest.approx(2.0 / 3.0)
+
+    def test_monotone_decreasing(self):
+        steps = classic_fw_steps(20)
+        assert all(a > b for a, b in zip(steps, steps[1:]))
+
+    def test_length(self):
+        assert len(classic_fw_steps(7)) == 7
+
+
+class TestDPFWSchedule:
+    def test_paper_mode_T(self):
+        sched = dpfw_schedule(10_000, 1.0, 100, 200, mode="paper")
+        assert sched.n_iterations == int(10_000 ** (1 / 3))
+
+    def test_theory_T_grows_with_n(self):
+        small = dpfw_schedule(1_000, 1.0, 100, 200, mode="theory")
+        large = dpfw_schedule(1_000_000, 1.0, 100, 200, mode="theory")
+        assert large.n_iterations > small.n_iterations
+
+    def test_scale_grows_with_n(self):
+        small = dpfw_schedule(1_000, 1.0, 100, 200)
+        large = dpfw_schedule(1_000_000, 1.0, 100, 200)
+        assert large.scale > small.scale
+
+    def test_chunk_size(self):
+        sched = dpfw_schedule(10_000, 1.0, 100, 200, mode="paper")
+        assert sched.chunk_size == 10_000 // sched.n_iterations
+
+    def test_T_never_exceeds_n(self):
+        sched = dpfw_schedule(5, 100.0, 10, 20, mode="paper")
+        assert 1 <= sched.n_iterations <= 5
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            dpfw_schedule(100, 1.0, 10, 20, mode="bogus")
+
+
+class TestLassoSchedule:
+    def test_paper_T(self):
+        sched = lasso_schedule(10_000, 1.0, 1e-5, 100, mode="paper")
+        assert sched.n_iterations == int(10_000 ** 0.4)
+
+    def test_threshold_consistent(self):
+        sched = lasso_schedule(10_000, 1.0, 1e-5, 100)
+        expected = (10_000) ** 0.25 / sched.n_iterations ** 0.125
+        assert sched.threshold == pytest.approx(expected)
+
+    def test_theory_mode_runs(self):
+        sched = lasso_schedule(10_000, 1.0, 1e-5, 100, mode="theory")
+        assert sched.n_iterations >= 1 and sched.threshold > 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            lasso_schedule(100, 1.0, 1e-5, 10, mode="x")
+
+
+class TestSparseLinearSchedule:
+    def test_log_n_iterations(self):
+        sched = sparse_linear_schedule(10_000, 1.0, 5)
+        assert sched.n_iterations == int(math.log(10_000))
+
+    def test_selection_size(self):
+        sched = sparse_linear_schedule(10_000, 1.0, 5, expansion=3)
+        assert sched.selection_size == 15
+
+    def test_threshold_uses_selection_size(self):
+        sched = sparse_linear_schedule(10_000, 1.0, 5, expansion=2)
+        expected = (10_000 / (10 * sched.n_iterations)) ** 0.25
+        assert sched.threshold == pytest.approx(expected)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            sparse_linear_schedule(100, 1.0, 5, mode="nope")
+
+
+class TestSparseOptimizationSchedule:
+    def test_scale_positive_and_grows_with_n(self):
+        small = sparse_optimization_schedule(1_000, 1.0, 5, 100)
+        large = sparse_optimization_schedule(1_000_000, 1.0, 5, 100)
+        assert 0 < small.scale < large.scale
+
+    def test_scale_shrinks_with_sparsity(self):
+        low = sparse_optimization_schedule(100_000, 1.0, 2, 100)
+        high = sparse_optimization_schedule(100_000, 1.0, 50, 100)
+        assert high.scale < low.scale
+
+    def test_selection_size_default(self):
+        sched = sparse_optimization_schedule(10_000, 1.0, 7, 100)
+        assert sched.selection_size == 14

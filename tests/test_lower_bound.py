@@ -1,0 +1,149 @@
+"""Tests for the packing construction and the Theorem 9 lower bound."""
+
+import numpy as np
+import pytest
+
+from repro.lower_bound import (
+    HardInstance,
+    greedy_packing,
+    hamming_distance,
+    lower_bound_rate,
+    make_hard_family,
+    packing_lower_bound,
+    paper_mixing_weight,
+    private_fano_bound,
+    random_sparse_sign_vector,
+    verify_packing,
+)
+
+
+class TestHamming:
+    def test_distance(self):
+        a = np.array([1, 0, -1, 0])
+        b = np.array([1, 1, 1, 0])
+        assert hamming_distance(a, b) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(2), np.zeros(3))
+
+
+class TestPacking:
+    def test_random_vector_in_H(self, rng):
+        v = random_sparse_sign_vector(30, 5, rng)
+        assert np.count_nonzero(v) == 5
+        assert set(np.unique(v)) <= {-1, 0, 1}
+
+    def test_greedy_packing_is_valid(self, rng):
+        packing = greedy_packing(64, 8, max_size=20, rng=rng)
+        assert verify_packing(packing, 8)
+        assert packing.shape[0] > 1
+
+    def test_greedy_packing_reaches_decent_size(self, rng):
+        packing = greedy_packing(128, 8, max_size=32, rng=rng)
+        assert packing.shape[0] >= 16
+
+    def test_verify_detects_violations(self):
+        bad = np.array([[1, 1, 0, 0], [1, 1, 0, 0]], dtype=np.int8)
+        assert not verify_packing(bad, 2)  # identical rows: distance 0
+
+    def test_verify_detects_wrong_sparsity(self):
+        bad = np.array([[1, 0, 0, 0]], dtype=np.int8)
+        assert not verify_packing(bad, 2)
+
+    def test_lower_bound_formula(self):
+        val = packing_lower_bound(100, 10)
+        assert val == pytest.approx(np.exp(5 * np.log(90 / 5)))
+
+    def test_sparsity_exceeding_dim(self, rng):
+        with pytest.raises(ValueError):
+            greedy_packing(5, 10, rng=rng)
+
+
+class TestHardInstance:
+    def test_moment_constraint_satisfied(self, rng):
+        instances, _ = make_hard_family(40, 4, tau=2.0, mixing_weight=0.01,
+                                        rng=rng)
+        for inst in instances:
+            assert inst.coordinate_second_moment() <= 2.0 + 1e-9
+
+    def test_mean_formula(self, rng):
+        instances, _ = make_hard_family(40, 4, tau=1.0, mixing_weight=0.05,
+                                        rng=rng)
+        inst = instances[0]
+        np.testing.assert_allclose(inst.mean, inst.mixing_weight * inst.spike)
+
+    def test_sample_shape_and_support(self, rng):
+        instances, _ = make_hard_family(20, 3, tau=1.0, mixing_weight=0.3,
+                                        rng=rng)
+        samples = instances[0].sample(500, rng=rng)
+        assert samples.shape == (500, 20)
+        # Every row is either the origin or the spike.
+        for row in samples[:50]:
+            assert np.allclose(row, 0.0) or np.allclose(row, instances[0].spike)
+
+    def test_empirical_mean_matches(self, rng):
+        instances, _ = make_hard_family(10, 2, tau=1.0, mixing_weight=0.2,
+                                        rng=rng)
+        inst = instances[0]
+        samples = inst.sample(200_000, rng=rng)
+        np.testing.assert_allclose(samples.mean(axis=0), inst.mean, atol=0.02)
+
+    def test_means_are_separated(self, rng):
+        """rho*(V) >= sqrt(p tau)/2: means are p*A*v with A = sqrt(tau/p)/sqrt(2s)
+        and packing vectors differ in >= s/2 coordinates."""
+        p, tau = 0.05, 1.0
+        instances, _ = make_hard_family(60, 6, tau=tau, mixing_weight=p,
+                                        rng=rng)
+        required = np.sqrt(p * tau) / 2.0
+        for i in range(len(instances)):
+            for j in range(i + 1, len(instances)):
+                gap = np.linalg.norm(instances[i].mean - instances[j].mean)
+                assert gap >= required - 1e-9
+
+
+class TestBounds:
+    def test_mixing_weight_in_range(self):
+        p = paper_mixing_weight(10_000, 1.0, 1e-5, 200, 10)
+        assert 0 < p <= 1
+
+    def test_mixing_weight_shrinks_with_n(self):
+        small = paper_mixing_weight(1000, 1.0, 1e-5, 200, 10)
+        large = paper_mixing_weight(100_000, 1.0, 1e-5, 200, 10)
+        assert large < small
+
+    def test_fano_bound_positive(self):
+        assert private_fano_bound(10_000, 1.0, 1e-5, 200, 10, tau=1.0) > 0
+
+    def test_fano_bound_decreases_with_n(self):
+        a = private_fano_bound(1000, 1.0, 1e-5, 200, 10, 1.0)
+        b = private_fano_bound(100_000, 1.0, 1e-5, 200, 10, 1.0)
+        assert b < a
+
+    def test_rate_formula(self):
+        rate = lower_bound_rate(10_000, 1.0, 1e-5, 200, 10, tau=2.0)
+        expected = 2.0 * min(10 * np.log(200), np.log(1e5)) / 10_000
+        assert rate == pytest.approx(expected)
+
+    def test_rate_scales_linearly_in_tau(self):
+        r1 = lower_bound_rate(1000, 1.0, 1e-5, 100, 5, tau=1.0)
+        r2 = lower_bound_rate(1000, 1.0, 1e-5, 100, 5, tau=3.0)
+        assert r2 == pytest.approx(3 * r1)
+
+    def test_upper_bound_respects_lower_bound(self, rng):
+        """A private sparse mean estimator cannot beat the Fano bound
+        on the hard family (sanity link between the two halves)."""
+        from repro.estimators import PrivateSparseMeanEstimator
+
+        n, d, s, tau, eps, delta = 2000, 40, 4, 1.0, 1.0, 1e-5
+        p = paper_mixing_weight(n, eps, delta, d, s)
+        instances, _ = make_hard_family(d, s, tau, p, max_size=8, rng=rng)
+        bound = private_fano_bound(n, eps, delta, d, s, tau)
+        est = PrivateSparseMeanEstimator(sparsity=s, epsilon=eps, delta=delta,
+                                         second_moment=tau)
+        risks = []
+        for inst in instances[:4]:
+            x = inst.sample(n, rng=rng)
+            out = est.estimate(x, rng=rng)
+            risks.append(float(np.sum((out - inst.mean) ** 2)))
+        assert np.mean(risks) >= bound * 0.9  # estimator cannot beat Fano

@@ -1,0 +1,48 @@
+"""Tests for the moment-diagnostic helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    coordinate_second_moment,
+    gradient_second_moment,
+    pairwise_fourth_moment,
+    response_fourth_moment,
+)
+from repro.losses import SquaredLoss
+
+
+class TestCoordinateSecondMoment:
+    def test_max_over_columns(self):
+        X = np.column_stack([np.full(100, 1.0), np.full(100, 3.0)])
+        assert coordinate_second_moment(X) == pytest.approx(9.0)
+
+    def test_gaussian(self, rng):
+        X = rng.normal(size=(200_000, 3)) * 2.0
+        assert coordinate_second_moment(X) == pytest.approx(4.0, rel=0.05)
+
+
+class TestGradientSecondMoment:
+    def test_at_zero_for_squared_loss(self, rng):
+        # grad at w=0 is -2 x y; with x,y ~ N(0,1) indep: E (2xy)^2 = 4.
+        X = rng.normal(size=(200_000, 2))
+        y = rng.normal(size=200_000)
+        tau = gradient_second_moment(SquaredLoss(), np.zeros(2), X, y)
+        assert tau == pytest.approx(4.0, rel=0.1)
+
+
+class TestPairwiseFourthMoment:
+    def test_diagonal_dominates_gaussian(self, rng):
+        X = rng.normal(size=(100_000, 4))
+        M = pairwise_fourth_moment(X, rng=rng)
+        # E x^4 = 3 for standard normal (diagonal); cross terms are 1.
+        assert M == pytest.approx(3.0, rel=0.15)
+
+    def test_single_column(self, rng):
+        X = rng.normal(size=(50_000, 1))
+        assert pairwise_fourth_moment(X, rng=rng) == pytest.approx(3.0, rel=0.15)
+
+
+class TestResponseFourthMoment:
+    def test_constant(self):
+        assert response_fourth_moment(np.full(10, 2.0)) == pytest.approx(16.0)

@@ -1,0 +1,114 @@
+"""Tests for Algorithm 4 (Peeling) and the dense-release comparator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import dense_laplace_release, peeling, peeling_laplace_scale
+from repro.privacy import PrivacyAccountant
+
+
+class TestLaplaceScale:
+    def test_formula(self):
+        scale = peeling_laplace_scale(sparsity=5, epsilon=1.0, delta=1e-5,
+                                      noise_scale=0.1)
+        expected = 2 * 0.1 * math.sqrt(3 * 5 * math.log(1e5)) / 1.0
+        assert scale == pytest.approx(expected)
+
+    def test_scales_inversely_with_epsilon(self):
+        low = peeling_laplace_scale(5, 2.0, 1e-5, 0.1)
+        high = peeling_laplace_scale(5, 1.0, 1e-5, 0.1)
+        assert low == pytest.approx(high / 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            peeling_laplace_scale(0, 1.0, 1e-5, 0.1)
+        with pytest.raises(ValueError):
+            peeling_laplace_scale(5, 1.0, 1e-5, 0.0)
+
+
+class TestPeeling:
+    def test_output_sparsity(self, rng):
+        v = rng.normal(size=40)
+        result = peeling(v, sparsity=6, epsilon=1.0, delta=1e-5,
+                         noise_scale=0.01, rng=rng)
+        assert np.count_nonzero(result.vector) <= 6
+        assert result.support.size == 6
+        assert len(set(result.support.tolist())) == 6  # distinct indices
+
+    def test_selects_top_coordinates_with_tiny_noise(self, rng):
+        v = np.array([0.1, 5.0, -4.0, 0.2, 3.0])
+        result = peeling(v, sparsity=3, epsilon=1000.0, delta=1e-5,
+                         noise_scale=1e-9, rng=rng)
+        assert set(result.support.tolist()) == {1, 2, 4}
+
+    def test_values_close_to_input_with_tiny_noise(self, rng):
+        v = np.array([0.0, 5.0, -4.0, 0.0, 3.0])
+        result = peeling(v, sparsity=3, epsilon=1000.0, delta=1e-5,
+                         noise_scale=1e-9, rng=rng)
+        np.testing.assert_allclose(result.vector, v, atol=1e-4)
+
+    def test_peel_order_is_magnitude_order(self, rng):
+        v = np.array([1.0, 10.0, 5.0])
+        result = peeling(v, sparsity=3, epsilon=1000.0, delta=1e-5,
+                         noise_scale=1e-9, rng=rng)
+        assert result.support.tolist() == [1, 2, 0]
+
+    def test_large_noise_randomises_selection(self, rng):
+        v = np.array([0.0, 0.01, 0.0, 0.0])
+        picks = set()
+        for _ in range(40):
+            res = peeling(v, sparsity=1, epsilon=0.1, delta=1e-5,
+                          noise_scale=1.0, rng=rng)
+            picks.add(int(res.support[0]))
+        assert len(picks) > 1
+
+    def test_sparsity_exceeding_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            peeling(np.ones(3), sparsity=4, epsilon=1.0, delta=1e-5,
+                    noise_scale=0.1, rng=rng)
+
+    def test_accountant(self, rng):
+        acc = PrivacyAccountant()
+        peeling(np.ones(5), sparsity=2, epsilon=0.5, delta=1e-6,
+                noise_scale=0.1, rng=rng, accountant=acc)
+        assert acc.total_epsilon == pytest.approx(0.5)
+        assert acc.total_delta == pytest.approx(1e-6)
+
+    def test_release_noise_matches_scale(self, rng):
+        """The released values should deviate with the stated Laplace scale."""
+        v = np.zeros(2000)
+        res = peeling(v, sparsity=2000, epsilon=1.0, delta=1e-5,
+                      noise_scale=0.05, rng=rng)
+        # all coords selected; the additive noise has scale res.noise_scale
+        observed_std = np.std(res.vector)
+        expected_std = res.noise_scale * math.sqrt(2.0)
+        assert observed_std == pytest.approx(expected_std, rel=0.1)
+
+
+class TestDenseLaplaceRelease:
+    def test_output_sparsity(self, rng):
+        v = rng.normal(size=30)
+        res = dense_laplace_release(v, sparsity=4, epsilon=1.0, delta=1e-5,
+                                    noise_scale=0.001, rng=rng)
+        assert np.count_nonzero(res.vector) <= 4
+
+    def test_noisier_than_peeling_in_high_dimension(self, rng):
+        """The ablation claim: dense release error grows with d."""
+        d, s = 400, 4
+        v = np.zeros(d)
+        v[:s] = 1.0
+        peel_errors, dense_errors = [], []
+        for _ in range(20):
+            p = peeling(v, s, 1.0, 1e-5, noise_scale=0.001, rng=rng)
+            q = dense_laplace_release(v, s, 1.0, 1e-5, noise_scale=0.001, rng=rng)
+            peel_errors.append(np.linalg.norm(p.vector - v))
+            dense_errors.append(np.linalg.norm(q.vector - v))
+        assert np.mean(dense_errors) > 2.0 * np.mean(peel_errors)
+
+    def test_accountant_is_pure_dp(self, rng):
+        acc = PrivacyAccountant()
+        dense_laplace_release(np.ones(5), 2, 1.0, 1e-5, 0.1, rng=rng,
+                              accountant=acc)
+        assert acc.total.is_pure

@@ -1,0 +1,67 @@
+"""Tests for the ledger-style privacy accountant."""
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy import PrivacyAccountant, PrivacyBudget
+
+
+class TestAccountantBasics:
+    def test_empty_total_is_none(self):
+        assert PrivacyAccountant().total is None
+
+    def test_spend_accumulates(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyBudget(0.5), "laplace")
+        acc.spend(PrivacyBudget(0.25, 1e-6), "gaussian")
+        assert acc.total_epsilon == pytest.approx(0.75)
+        assert acc.total_delta == pytest.approx(1e-6)
+
+    def test_entries_record_notes(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyBudget(1.0), "exponential", note="round 1")
+        assert acc.entries[0].mechanism == "exponential"
+        assert acc.entries[0].note == "round 1"
+
+    def test_summary_mentions_entries(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyBudget(1.0), "laplace", note="test")
+        text = acc.summary()
+        assert "laplace" in text and "test" in text
+
+
+class TestAccountantCap:
+    def test_cap_blocks_overspend(self):
+        acc = PrivacyAccountant(cap=PrivacyBudget(1.0))
+        acc.spend(PrivacyBudget(0.6), "a")
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend(PrivacyBudget(0.6), "b")
+
+    def test_cap_blocks_delta_overspend(self):
+        acc = PrivacyAccountant(cap=PrivacyBudget(10.0, 1e-6))
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend(PrivacyBudget(0.1, 1e-5), "a")
+
+    def test_failed_spend_leaves_ledger_unchanged(self):
+        acc = PrivacyAccountant(cap=PrivacyBudget(1.0))
+        acc.spend(PrivacyBudget(0.9), "a")
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend(PrivacyBudget(0.9), "b")
+        assert len(acc.entries) == 1
+        assert acc.total_epsilon == pytest.approx(0.9)
+
+    def test_exact_cap_is_allowed(self):
+        acc = PrivacyAccountant(cap=PrivacyBudget(1.0))
+        acc.spend(PrivacyBudget(0.5), "a")
+        acc.spend(PrivacyBudget(0.5), "b")
+        assert acc.total_epsilon == pytest.approx(1.0)
+
+    def test_remaining(self):
+        acc = PrivacyAccountant(cap=PrivacyBudget(1.0, 1e-5))
+        acc.spend(PrivacyBudget(0.4, 1e-6), "a")
+        rem = acc.remaining()
+        assert rem.epsilon == pytest.approx(0.6)
+        assert rem.delta == pytest.approx(9e-6)
+
+    def test_remaining_without_cap(self):
+        assert PrivacyAccountant().remaining() is None

@@ -1,0 +1,107 @@
+"""Tests for PrivacyBudget arithmetic and composition theorems."""
+
+import math
+
+import pytest
+
+from repro.privacy import (
+    PrivacyBudget,
+    advanced_composition_step,
+    advanced_composition_total,
+)
+
+
+class TestPrivacyBudget:
+    def test_pure_dp(self):
+        b = PrivacyBudget(1.0)
+        assert b.is_pure and b.delta == 0.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(-1.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0, -0.1)
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0, 1.0)
+
+    def test_addition_is_basic_composition(self):
+        total = PrivacyBudget(1.0, 1e-5) + PrivacyBudget(0.5, 1e-6)
+        assert total.epsilon == pytest.approx(1.5)
+        assert total.delta == pytest.approx(1.1e-5)
+
+    def test_multiplication(self):
+        assert (PrivacyBudget(0.5) * 4).epsilon == pytest.approx(2.0)
+        assert (3 * PrivacyBudget(0.5, 1e-6)).delta == pytest.approx(3e-6)
+
+    def test_multiplication_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0) * 0
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0) * 1.5
+
+    def test_split_inverts_multiplication(self):
+        b = PrivacyBudget(2.0, 1e-5)
+        again = b.split(4) * 4
+        assert again.epsilon == pytest.approx(b.epsilon)
+        assert again.delta == pytest.approx(b.delta)
+
+    def test_covers(self):
+        big = PrivacyBudget(2.0, 1e-4)
+        small = PrivacyBudget(1.0, 1e-5)
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_covers_tolerates_float_drift(self):
+        b = PrivacyBudget(1.0)
+        drifted = PrivacyBudget(1.0 + 1e-12)
+        assert b.covers(drifted)
+
+    def test_hashable_and_frozen(self):
+        b = PrivacyBudget(1.0, 1e-6)
+        assert hash(b) == hash(PrivacyBudget(1.0, 1e-6))
+        with pytest.raises(Exception):
+            b.epsilon = 2.0
+
+
+class TestAdvancedComposition:
+    def test_step_formula_matches_paper(self):
+        # eps' = eps / (2 sqrt(2 T ln(2/delta)))
+        total = PrivacyBudget(1.0, 1e-5)
+        step = advanced_composition_step(total, 10)
+        expected = 1.0 / (2.0 * math.sqrt(2.0 * 10 * math.log(2.0 / 1e-5)))
+        assert step.epsilon == pytest.approx(expected)
+        assert step.delta == pytest.approx(1e-5 / 20)
+
+    def test_step_requires_delta(self):
+        with pytest.raises(ValueError):
+            advanced_composition_step(PrivacyBudget(1.0), 5)
+
+    def test_step_rejects_bad_T(self):
+        with pytest.raises(ValueError):
+            advanced_composition_step(PrivacyBudget(1.0, 1e-5), 0)
+
+    def test_roundtrip_is_conservative(self):
+        """Composing the per-step budgets must not exceed the target."""
+        total = PrivacyBudget(1.0, 1e-5)
+        T = 20
+        step = advanced_composition_step(total, T)
+        recomposed = advanced_composition_total(step, T, delta_slack=total.delta / 2)
+        assert recomposed.epsilon <= total.epsilon * (1 + 1e-9)
+        assert recomposed.delta <= total.delta * (1 + 1e-9)
+
+    def test_total_grows_sublinearly(self):
+        step = PrivacyBudget(0.01, 1e-8)
+        t_small = advanced_composition_total(step, 10, 1e-6)
+        t_large = advanced_composition_total(step, 1000, 1e-6)
+        # sqrt scaling: x100 steps should grow eps by ~x10, far below x100
+        assert t_large.epsilon < 15 * t_small.epsilon
+
+    def test_total_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            advanced_composition_total(PrivacyBudget(0.1, 1e-8), 0, 1e-6)
+        with pytest.raises(ValueError):
+            advanced_composition_total(PrivacyBudget(0.1, 1e-8), 5, 0.0)

@@ -1,0 +1,128 @@
+"""Distributional and API tests for the DP mechanisms."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.privacy import (
+    ExponentialMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    report_noisy_max,
+)
+
+
+class TestLaplaceMechanism:
+    def test_scale(self):
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        assert mech.scale == pytest.approx(4.0)
+
+    def test_budget_is_pure(self):
+        assert LaplaceMechanism(1.0, 1.0).budget.is_pure
+
+    def test_noise_distribution(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        noise = mech.randomize(np.zeros(20_000), rng=rng)
+        # Laplace(1): mean 0, variance 2.
+        assert abs(noise.mean()) < 0.05
+        assert noise.var() == pytest.approx(2.0, rel=0.1)
+
+    def test_shape_preserved(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        out = mech.randomize(np.ones((3, 4)), rng=rng)
+        assert out.shape == (3, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0, sensitivity=1.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+
+
+class TestGaussianMechanism:
+    def test_sigma_formula(self):
+        mech = GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=2.0)
+        expected = 2.0 * np.sqrt(2.0 * np.log(1.25 / 1e-5))
+        assert mech.sigma == pytest.approx(expected)
+
+    def test_noise_distribution(self, rng):
+        mech = GaussianMechanism(epsilon=2.0, delta=1e-3, sensitivity=1.0)
+        noise = mech.randomize(np.zeros(20_000), rng=rng)
+        assert noise.std() == pytest.approx(mech.sigma, rel=0.05)
+
+    def test_budget(self):
+        b = GaussianMechanism(1.0, 1e-5, 1.0).budget
+        assert b.epsilon == 1.0 and b.delta == 1e-5
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=1.0, delta=0.0, sensitivity=1.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=1.0, delta=1.0, sensitivity=1.0)
+
+
+class TestExponentialMechanism:
+    def test_probabilities_sum_to_one(self):
+        mech = ExponentialMechanism(epsilon=1.0, sensitivity=1.0)
+        p = mech.probabilities(np.array([0.0, 1.0, 2.0]))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_probabilities_prefer_high_scores(self):
+        mech = ExponentialMechanism(epsilon=2.0, sensitivity=1.0)
+        p = mech.probabilities(np.array([0.0, 5.0]))
+        assert p[1] > p[0]
+        # exact form: p1/p0 = exp(eps * (u1-u0) / (2 Delta)) = exp(5)
+        assert p[1] / p[0] == pytest.approx(np.exp(5.0), rel=1e-9)
+
+    def test_extreme_scores_are_stable(self):
+        mech = ExponentialMechanism(epsilon=1.0, sensitivity=1e-6)
+        p = mech.probabilities(np.array([0.0, 1e6, -1e6]))
+        assert np.all(np.isfinite(p))
+        assert p.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("method", ["softmax", "gumbel"])
+    def test_empirical_distribution_matches(self, method, rng):
+        """Both samplers should realise the exponential-mechanism law."""
+        scores = np.array([0.0, 0.7, 1.5, -0.5])
+        mech = ExponentialMechanism(epsilon=2.0, sensitivity=1.0, method=method)
+        expected = mech.probabilities(scores)
+        draws = np.array([mech.select(scores, rng=rng) for _ in range(8000)])
+        counts = np.bincount(draws, minlength=scores.size)
+        _, p_value = stats.chisquare(counts, expected * draws.size)
+        assert p_value > 1e-4  # not a significant deviation
+
+    def test_select_rejects_empty(self, rng):
+        mech = ExponentialMechanism(epsilon=1.0, sensitivity=1.0)
+        with pytest.raises(ValueError):
+            mech.select(np.array([]), rng=rng)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(epsilon=1.0, sensitivity=1.0, method="bogus")
+
+
+class TestReportNoisyMax:
+    def test_returns_argmax_with_high_epsilon(self, rng):
+        scores = np.array([0.0, 10.0, 1.0])
+        picks = {report_noisy_max(scores, epsilon=100.0, sensitivity=0.01, rng=rng)
+                 for _ in range(20)}
+        assert picks == {1}
+
+    def test_exclusion(self, rng):
+        scores = np.array([0.0, 10.0, 1.0])
+        exclude = np.array([False, True, False])
+        for _ in range(20):
+            pick = report_noisy_max(scores, epsilon=100.0, sensitivity=0.01,
+                                    rng=rng, exclude=exclude)
+            assert pick != 1
+
+    def test_all_excluded_raises(self, rng):
+        with pytest.raises(ValueError):
+            report_noisy_max(np.array([1.0]), 1.0, 1.0, rng=rng,
+                             exclude=np.array([True]))
+
+    def test_randomises_with_low_epsilon(self, rng):
+        scores = np.array([0.0, 0.1])
+        picks = {report_noisy_max(scores, epsilon=0.01, sensitivity=1.0, rng=rng)
+                 for _ in range(50)}
+        assert picks == {0, 1}

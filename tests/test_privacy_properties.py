@@ -1,0 +1,157 @@
+"""Privacy property tests: the sensitivities the mechanisms are
+calibrated to must hold *empirically* on adversarial neighbouring
+datasets, and the exponential mechanism must satisfy its defining
+inequality exactly.
+
+These are the tests that would catch a silent privacy bug (wrong
+constant, un-clipped influence, forgotten factor of 2) that pure utility
+tests never would.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.estimators import CatoniEstimator, TruncatedMeanEstimator, shrink_dataset
+from repro.geometry import L1Ball
+from repro.losses import SquaredLoss
+from repro.privacy import ExponentialMechanism
+
+ADVERSARIAL_VALUES = (1e12, -1e12, 0.0, 1.0)
+
+
+class TestExponentialMechanismInequality:
+    @given(
+        scores=hnp.arrays(np.float64, 6, elements=st.floats(-5, 5)),
+        bumps=hnp.arrays(np.float64, 6, elements=st.floats(-1, 1)),
+    )
+    @settings(max_examples=60)
+    def test_probability_ratio_bounded(self, scores, bumps):
+        """For score vectors differing by <= sensitivity entrywise, every
+        candidate's selection probability changes by at most e^eps."""
+        eps, sensitivity = 1.3, 1.0
+        mech = ExponentialMechanism(epsilon=eps, sensitivity=sensitivity)
+        p = mech.probabilities(scores)
+        q = mech.probabilities(scores + bumps * sensitivity)
+        ratio = np.max(p / np.maximum(q, 1e-300))
+        assert ratio <= math.exp(eps) * (1 + 1e-9)
+
+
+class TestCatoniSensitivityVectorised:
+    def test_column_estimate_sensitivity(self, rng):
+        """Replacing one row moves every column estimate by <= 4sqrt(2)s/(3m)."""
+        est = CatoniEstimator(scale=2.0)
+        X = rng.normal(size=(120, 5))
+        base = est.estimate_columns(X)
+        for value in ADVERSARIAL_VALUES:
+            X2 = X.copy()
+            X2[0] = value
+            moved = est.estimate_columns(X2)
+            assert np.max(np.abs(moved - base)) <= est.sensitivity(120) + 1e-12
+
+    def test_truncated_estimator_sensitivity(self, rng):
+        est = TruncatedMeanEstimator(threshold=3.0)
+        X = rng.normal(size=(80, 4))
+        base = est.estimate_columns(X)
+        for value in ADVERSARIAL_VALUES:
+            X2 = X.copy()
+            X2[0] = value
+            moved = est.estimate_columns(X2)
+            assert np.max(np.abs(moved - base)) <= est.sensitivity(80) + 1e-12
+
+
+class TestAlgorithm1ScoreSensitivity:
+    def test_score_change_bounded(self, rng):
+        """The exponential-mechanism score sensitivity used by Alg 1
+        (diameter * 4sqrt(2)s/(3m)) holds for adversarial replacements."""
+        loss = SquaredLoss()
+        ball = L1Ball(6)
+        est = CatoniEstimator(scale=5.0)
+        m = 60
+        X = rng.lognormal(sigma=0.6, size=(m, 6))
+        y = rng.normal(size=m)
+        w = ball.initial_point() + 0.05
+        base_scores = ball.vertex_scores(
+            est.estimate_columns(loss.per_sample_gradients(w, X, y)))
+        claimed = ball.l1_diameter() * est.sensitivity(m)
+        for value in ADVERSARIAL_VALUES:
+            X2, y2 = X.copy(), y.copy()
+            X2[0], y2[0] = value, -value if value else 1.0
+            scores = ball.vertex_scores(
+                est.estimate_columns(loss.per_sample_gradients(w, X2, y2)))
+            assert np.max(np.abs(scores - base_scores)) <= claimed + 1e-9
+
+
+class TestAlgorithm2ScoreSensitivity:
+    def test_shrunken_gradient_score_bounded(self, rng):
+        """Alg 2's sensitivity 4 * diameter * K^2 / n for the shrunken
+        squared-loss gradient scores."""
+        K, n, d = 3.0, 50, 5
+        ball = L1Ball(d)
+        X = rng.lognormal(sigma=1.0, size=(n, d))
+        y = rng.normal(size=n) * 10
+        Xs, ys = shrink_dataset(X, y, K)
+        w = ball.initial_point()
+        w[0] = 0.9  # near the boundary, worst case for <x, w>
+
+        def scores(Xs_, ys_):
+            g = 2.0 * Xs_.T @ (Xs_ @ w - ys_) / n
+            return ball.vertex_scores(g)
+
+        base = scores(Xs, ys)
+        claimed = 4.0 * ball.l1_diameter() * K**2 / n
+        for value in ADVERSARIAL_VALUES:
+            X2, y2 = X.copy(), y.copy()
+            X2[0], y2[0] = value, -value if value else 7.0
+            Xs2, ys2 = shrink_dataset(X2, y2, K)
+            assert np.max(np.abs(scores(Xs2, ys2) - base)) <= claimed + 1e-9
+
+
+class TestAlgorithm3StepSensitivity:
+    def test_half_step_linf_bounded(self, rng):
+        """||w^{t+.5}(D) - w^{t+.5}(D')||_inf <= 2 K^2 eta0 (sqrt(s)+1)/m."""
+        K, m, d, s, eta0 = 2.5, 40, 8, 3, 0.1
+        X = rng.normal(size=(m, d)) * 5
+        y = rng.normal(size=m) * 5
+        Xs, ys = shrink_dataset(X, y, K)
+        w = np.zeros(d)
+        w[:s] = 1.0 / math.sqrt(s)  # s-sparse, unit norm
+
+        def half_step(Xs_, ys_):
+            return w - eta0 * Xs_.T @ (Xs_ @ w - ys_) / m
+
+        base = half_step(Xs, ys)
+        claimed = 2.0 * K**2 * eta0 * (math.sqrt(s) + 1.0) / m
+        for value in ADVERSARIAL_VALUES:
+            X2, y2 = X.copy(), y.copy()
+            X2[0], y2[0] = value, -value if value else 3.0
+            Xs2, ys2 = shrink_dataset(X2, y2, K)
+            moved = half_step(Xs2, ys2)
+            assert np.max(np.abs(moved - base)) <= claimed + 1e-9
+
+
+class TestAlgorithm5StepSensitivity:
+    def test_half_step_linf_bounded(self, rng):
+        """||w^{t+.5}(D) - w^{t+.5}(D')||_inf <= 4 sqrt(2) eta k / (3 m)."""
+        k, m, d, eta = 4.0, 50, 6, 0.2
+        loss = SquaredLoss()
+        est = CatoniEstimator(scale=k)
+        X = rng.lognormal(sigma=0.8, size=(m, d))
+        y = rng.normal(size=m)
+        w = np.zeros(d)
+
+        def half_step(X_, y_):
+            g = est.estimate_columns(loss.per_sample_gradients(w, X_, y_))
+            return w - eta * g
+
+        base = half_step(X, y)
+        claimed = 4.0 * math.sqrt(2.0) * eta * k / (3.0 * m)
+        for value in ADVERSARIAL_VALUES:
+            X2, y2 = X.copy(), y.copy()
+            X2[0], y2[0] = value, -value if value else 2.0
+            moved = half_step(X2, y2)
+            assert np.max(np.abs(moved - base)) <= claimed + 1e-9

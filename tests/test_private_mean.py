@@ -1,0 +1,73 @@
+"""Tests for the private heavy-tailed mean estimators."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import PrivateSparseMeanEstimator, private_mean_catoni_laplace
+from repro.privacy import PrivacyAccountant
+
+
+class TestDensePrivateMean:
+    def test_accuracy_at_large_epsilon(self, rng):
+        mean = np.array([1.0, -0.5, 0.25])
+        x = rng.normal(loc=mean, scale=1.0, size=(20_000, 3))
+        est = private_mean_catoni_laplace(x, epsilon=50.0, second_moment=3.0,
+                                          rng=rng)
+        np.testing.assert_allclose(est, mean, atol=0.2)
+
+    def test_accountant_charged(self, rng):
+        acc = PrivacyAccountant()
+        x = rng.normal(size=(500, 2))
+        private_mean_catoni_laplace(x, epsilon=1.0, rng=rng, accountant=acc)
+        assert acc.total_epsilon == pytest.approx(1.0)
+        assert acc.total.is_pure
+
+    def test_error_grows_with_dimension(self, rng):
+        """The dense estimator's noise is the poly(d) behaviour the paper avoids."""
+        errors = {}
+        for d in (4, 64):
+            trials = []
+            for _ in range(30):
+                x = rng.normal(size=(2000, d))
+                est = private_mean_catoni_laplace(x, epsilon=1.0, rng=rng)
+                trials.append(np.max(np.abs(est)))
+            errors[d] = np.mean(trials)
+        assert errors[64] > 4.0 * errors[4]
+
+    def test_explicit_scale_respected(self, rng):
+        x = rng.normal(size=(100, 2))
+        out = private_mean_catoni_laplace(x, epsilon=1.0, scale=5.0, rng=rng)
+        assert out.shape == (2,)
+
+
+class TestSparsePrivateMean:
+    def test_recovers_support_at_large_epsilon(self, rng):
+        d, s = 50, 3
+        mean = np.zeros(d)
+        mean[:s] = [2.0, -2.0, 1.5]
+        x = rng.normal(loc=mean, scale=0.5, size=(20_000, d))
+        est = PrivateSparseMeanEstimator(sparsity=s, epsilon=20.0, delta=1e-5,
+                                         second_moment=6.0)
+        out = est.estimate(x, rng=rng)
+        assert set(np.nonzero(out)[0]) == {0, 1, 2}
+        np.testing.assert_allclose(out[:s], mean[:s], atol=0.5)
+
+    def test_output_is_sparse(self, rng):
+        est = PrivateSparseMeanEstimator(sparsity=4, epsilon=1.0, delta=1e-5)
+        x = rng.normal(size=(400, 30))
+        out = est.estimate(x, rng=rng)
+        assert np.count_nonzero(out) <= 4
+
+    def test_accountant_charged_once(self, rng):
+        acc = PrivacyAccountant()
+        est = PrivateSparseMeanEstimator(sparsity=2, epsilon=0.7, delta=1e-6)
+        est.estimate(np.random.default_rng(0).normal(size=(200, 10)),
+                     rng=rng, accountant=acc)
+        assert acc.total_epsilon == pytest.approx(0.7)
+        assert acc.total_delta == pytest.approx(1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PrivateSparseMeanEstimator(sparsity=0, epsilon=1.0, delta=1e-5)
+        with pytest.raises(ValueError):
+            PrivateSparseMeanEstimator(sparsity=2, epsilon=-1.0, delta=1e-5)

@@ -1,0 +1,141 @@
+"""Property-based tests for the Euclidean and sparse projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import (
+    hard_threshold,
+    project_l1_ball,
+    project_l2_ball,
+    project_simplex,
+    restrict_to_support,
+    support,
+)
+
+finite_vec = hnp.arrays(np.float64, 12, elements=st.floats(-50, 50))
+
+
+class TestProjectL2Ball:
+    def test_inside_unchanged(self):
+        v = np.array([0.3, 0.4])
+        np.testing.assert_array_equal(project_l2_ball(v, 1.0), v)
+
+    def test_outside_lands_on_boundary(self):
+        out = project_l2_ball(np.array([3.0, 4.0]), 1.0)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    @given(finite_vec)
+    @settings(max_examples=50)
+    def test_feasible_and_idempotent(self, v):
+        out = project_l2_ball(v, 2.0)
+        assert np.linalg.norm(out) <= 2.0 + 1e-9
+        np.testing.assert_allclose(project_l2_ball(out, 2.0), out)
+
+    @given(finite_vec, finite_vec)
+    @settings(max_examples=50)
+    def test_non_expansive(self, a, b):
+        pa, pb = project_l2_ball(a, 1.0), project_l2_ball(b, 1.0)
+        assert np.linalg.norm(pa - pb) <= np.linalg.norm(a - b) + 1e-9
+
+
+class TestProjectSimplex:
+    def test_already_on_simplex(self):
+        v = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_simplex(v, 1.0), v, atol=1e-12)
+
+    def test_uniform_from_equal_entries(self):
+        out = project_simplex(np.array([5.0, 5.0]), 1.0)
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    @given(finite_vec)
+    @settings(max_examples=60)
+    def test_output_is_on_simplex(self, v):
+        out = project_simplex(v, 1.0)
+        assert np.all(out >= -1e-12)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(finite_vec)
+    @settings(max_examples=40)
+    def test_is_euclidean_projection(self, v):
+        """No random feasible point may be closer than the projection."""
+        out = project_simplex(v, 1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            candidate = rng.dirichlet(np.ones(v.size))
+            assert (np.linalg.norm(v - out)
+                    <= np.linalg.norm(v - candidate) + 1e-9)
+
+
+class TestProjectL1Ball:
+    def test_inside_unchanged(self):
+        v = np.array([0.2, -0.3])
+        np.testing.assert_array_equal(project_l1_ball(v, 1.0), v)
+
+    @given(finite_vec)
+    @settings(max_examples=60)
+    def test_feasible_and_idempotent(self, v):
+        out = project_l1_ball(v, 1.0)
+        assert np.abs(out).sum() <= 1.0 + 1e-9
+        np.testing.assert_allclose(project_l1_ball(out, 1.0), out, atol=1e-12)
+
+    @given(finite_vec)
+    @settings(max_examples=40)
+    def test_sign_preservation(self, v):
+        out = project_l1_ball(v, 1.0)
+        mask = out != 0
+        assert np.all(np.sign(out[mask]) == np.sign(v[mask]))
+
+    def test_known_projection(self):
+        # Projection of (2, 0) onto the unit l1 ball is (1, 0).
+        np.testing.assert_allclose(project_l1_ball(np.array([2.0, 0.0]), 1.0),
+                                   [1.0, 0.0])
+
+
+class TestHardThreshold:
+    def test_keeps_largest(self):
+        v = np.array([1.0, -3.0, 0.5, 2.0])
+        out = hard_threshold(v, 2)
+        np.testing.assert_array_equal(out, [0.0, -3.0, 0.0, 2.0])
+
+    def test_zero_sparsity(self):
+        np.testing.assert_array_equal(hard_threshold(np.ones(3), 0), np.zeros(3))
+
+    def test_full_sparsity_identity(self):
+        v = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(hard_threshold(v, 5), v)
+
+    def test_negative_sparsity_rejected(self):
+        with pytest.raises(ValueError):
+            hard_threshold(np.ones(3), -1)
+
+    @given(finite_vec, st.integers(min_value=0, max_value=12))
+    @settings(max_examples=60)
+    def test_support_size_and_best_approximation(self, v, s):
+        out = hard_threshold(v, s)
+        assert np.count_nonzero(out) <= s
+        # It is the best s-sparse approximation in l2.
+        sorted_mags = np.sort(np.abs(v))[::-1]
+        best_error = float(np.sum(sorted_mags[s:] ** 2)) if s < v.size else 0.0
+        assert np.sum((v - out) ** 2) == pytest.approx(best_error, abs=1e-9)
+
+
+class TestSupportUtilities:
+    def test_support(self):
+        np.testing.assert_array_equal(support(np.array([0.0, 1.0, 0.0, -2.0])),
+                                      [1, 3])
+
+    def test_support_with_tolerance(self):
+        v = np.array([1e-12, 1.0])
+        np.testing.assert_array_equal(support(v, tol=1e-9), [1])
+
+    def test_restrict(self):
+        v = np.array([1.0, 2.0, 3.0])
+        out = restrict_to_support(v, np.array([0, 2]))
+        np.testing.assert_array_equal(out, [1.0, 0.0, 3.0])
+
+    def test_restrict_out_of_range(self):
+        with pytest.raises(IndexError):
+            restrict_to_support(np.ones(3), np.array([5]))

@@ -1,0 +1,119 @@
+"""Hypothesis property tests on the core value objects and invariants.
+
+Complements the per-module suites with algebraic laws: budget algebra,
+linear-oracle optimality, Peeling output structure, packing validity,
+and the sweep/table plumbing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import peeling
+from repro.geometry import L1Ball, Simplex
+from repro.lower_bound import greedy_packing, verify_packing
+from repro.privacy import PrivacyBudget
+
+# Deltas kept small so that sums/multiples in the algebra tests stay
+# below the delta < 1 validity bound (which is itself tested in
+# tests/test_privacy_budget.py).
+budgets = st.builds(
+    PrivacyBudget,
+    epsilon=st.floats(min_value=1e-6, max_value=100),
+    delta=st.floats(min_value=0, max_value=0.01),
+)
+
+
+class TestBudgetAlgebra:
+    @given(budgets, budgets)
+    @settings(max_examples=50)
+    def test_addition_commutes(self, a, b):
+        assert (a + b).epsilon == pytest.approx((b + a).epsilon)
+        assert (a + b).delta == pytest.approx((b + a).delta)
+
+    @given(budgets, budgets, budgets)
+    @settings(max_examples=50)
+    def test_addition_associates(self, a, b, c):
+        left = (a + b) + c
+        right = a + (b + c)
+        assert left.epsilon == pytest.approx(right.epsilon)
+        assert left.delta == pytest.approx(right.delta)
+
+    @given(budgets, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50)
+    def test_multiplication_is_repeated_addition(self, budget, k):
+        total = budget
+        for _ in range(k - 1):
+            total = total + budget
+        product = budget * k
+        assert product.epsilon == pytest.approx(total.epsilon)
+        assert product.delta == pytest.approx(total.delta, abs=1e-12)
+
+    @given(budgets)
+    @settings(max_examples=50)
+    def test_covers_is_reflexive(self, budget):
+        assert budget.covers(budget)
+
+    @given(budgets, budgets)
+    @settings(max_examples=50)
+    def test_sum_covers_summands(self, a, b):
+        total = a + b
+        assert total.covers(a)
+        assert total.covers(b)
+
+
+class TestLinearOracleOptimality:
+    @given(hnp.arrays(np.float64, 12, elements=st.floats(-10, 10)))
+    @settings(max_examples=50)
+    def test_l1_ball_minimizer_beats_all_vertices(self, gradient):
+        ball = L1Ball(12, radius=1.5)
+        _, best = ball.linear_minimizer(gradient)
+        best_value = float(best @ gradient)
+        for i in range(ball.n_vertices):
+            assert best_value <= float(ball.vertex(i) @ gradient) + 1e-9
+
+    @given(hnp.arrays(np.float64, 9, elements=st.floats(-10, 10)))
+    @settings(max_examples=50)
+    def test_simplex_minimizer_beats_all_vertices(self, gradient):
+        simplex = Simplex(9, radius=2.0)
+        _, best = simplex.linear_minimizer(gradient)
+        best_value = float(best @ gradient)
+        for i in range(simplex.n_vertices):
+            assert best_value <= float(simplex.vertex(i) @ gradient) + 1e-9
+
+    @given(hnp.arrays(np.float64, 8, elements=st.floats(-5, 5)),
+           st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=50)
+    def test_score_argmax_is_minimizer(self, gradient, radius):
+        """vertex_scores and linear_minimizer must agree."""
+        ball = L1Ball(8, radius=radius)
+        scores = ball.vertex_scores(gradient)
+        index, vertex = ball.linear_minimizer(gradient)
+        assert scores[index] == pytest.approx(float(np.max(scores)))
+        assert float(vertex @ gradient) == pytest.approx(-float(np.max(scores)))
+
+
+class TestPeelingStructure:
+    @given(hnp.arrays(np.float64, 20, elements=st.floats(-100, 100)),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40)
+    def test_support_is_distinct_and_sized(self, v, s):
+        result = peeling(v, sparsity=s, epsilon=1.0, delta=1e-5,
+                         noise_scale=0.1, rng=np.random.default_rng(0))
+        assert result.support.size == s
+        assert len(set(result.support.tolist())) == s
+        outside = np.setdiff1d(np.arange(v.size), result.support)
+        assert np.all(result.vector[outside] == 0.0)
+
+
+class TestPackingProperty:
+    @given(st.integers(min_value=4, max_value=12),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_packing_always_valid(self, half_d, s):
+        d = 4 * half_d  # keep d comfortably above s
+        packing = greedy_packing(d, s, max_size=10,
+                                 rng=np.random.default_rng(half_d * 31 + s))
+        assert verify_packing(packing, s)

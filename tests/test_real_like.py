@@ -1,0 +1,59 @@
+"""Tests for the UCI-dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data import REAL_DATASETS, kurtosis_report, load_real_like
+
+
+class TestRegistry:
+    def test_paper_shapes_recorded(self):
+        assert REAL_DATASETS["blog"].n_samples == 60021
+        assert REAL_DATASETS["blog"].dimension == 281
+        assert REAL_DATASETS["twitter"].n_samples == 583249
+        assert REAL_DATASETS["twitter"].dimension == 77
+        assert REAL_DATASETS["winnipeg"].dimension == 175
+        assert REAL_DATASETS["year_prediction"].dimension == 90
+
+    def test_tasks(self):
+        assert REAL_DATASETS["blog"].task == "linear"
+        assert REAL_DATASETS["winnipeg"].task == "logistic"
+
+
+class TestLoadRealLike:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_real_like("imagenet")
+
+    def test_row_override(self, rng):
+        data = load_real_like("blog", rng=rng, n_samples=500)
+        assert data.features.shape == (500, 281)
+
+    def test_logistic_labels(self, rng):
+        data = load_real_like("winnipeg", rng=rng, n_samples=300)
+        assert set(np.unique(data.labels)) <= {-1.0, 1.0}
+
+    def test_linear_labels_are_floats(self, rng):
+        data = load_real_like("twitter", rng=rng, n_samples=300)
+        assert data.labels.dtype == float
+        assert len(set(np.round(data.labels, 6))) > 10
+
+    def test_heavy_tails_present(self, rng):
+        """The stand-ins must actually be heavy-tailed (high kurtosis)."""
+        data = load_real_like("blog", rng=rng, n_samples=4000)
+        report = kurtosis_report(data.features, data.labels)
+        assert report["max_coordinate_kurtosis"] > 10.0
+        assert report["max_outlier_sigmas"] > 6.0
+
+    def test_deterministic(self):
+        a = load_real_like("blog", rng=np.random.default_rng(0), n_samples=100)
+        b = load_real_like("blog", rng=np.random.default_rng(0), n_samples=100)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_planted_signal_learnable(self, rng):
+        """A least-squares fit on the stand-in should beat predicting zero."""
+        data = load_real_like("twitter", rng=rng, n_samples=3000)
+        X, y = data.features, data.labels
+        coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        residual = y - X @ coef
+        assert np.mean(residual**2) < 0.9 * np.mean(y**2)

@@ -1,0 +1,123 @@
+"""Tests for the Rényi-DP accountant."""
+
+import math
+
+import pytest
+
+from repro.privacy import (
+    PrivacyBudget,
+    RenyiAccountant,
+    advanced_composition_step,
+    calibrate_noise_multiplier,
+    gaussian_rdp,
+    rdp_to_dp,
+)
+
+
+class TestGaussianRDP:
+    def test_formula(self):
+        assert gaussian_rdp(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            gaussian_rdp(1.0, 1.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_rdp(0.0, 2.0)
+
+
+class TestConversion:
+    def test_single_order(self):
+        budget = rdp_to_dp([(2.0, 0.1)], delta=1e-5)
+        assert budget.epsilon == pytest.approx(0.1 + math.log(1e5))
+        assert budget.delta == 1e-5
+
+    def test_picks_best_order(self):
+        pairs = [(2.0, 0.1), (100.0, 0.5)]
+        budget = rdp_to_dp(pairs, delta=1e-5)
+        manual = min(0.1 + math.log(1e5) / 1.0, 0.5 + math.log(1e5) / 99.0)
+        assert budget.epsilon == pytest.approx(manual)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rdp_to_dp([], delta=1e-5)
+
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            rdp_to_dp([(2.0, 0.1)], delta=0.0)
+
+
+class TestRenyiAccountant:
+    def test_additivity(self):
+        acc = RenyiAccountant()
+        acc.record_gaussian(2.0)
+        acc.record_gaussian(2.0)
+        assert acc.rdp_at(2.0) == pytest.approx(2 * gaussian_rdp(2.0, 2.0))
+        assert acc.n_recorded == 2
+
+    def test_count_argument(self):
+        a = RenyiAccountant()
+        a.record_gaussian(3.0, count=10)
+        b = RenyiAccountant()
+        for _ in range(10):
+            b.record_gaussian(3.0)
+        assert a.rdp_at(4.0) == pytest.approx(b.rdp_at(4.0))
+
+    def test_unknown_order(self):
+        acc = RenyiAccountant()
+        with pytest.raises(KeyError):
+            acc.rdp_at(3.14159)
+
+    def test_invalid_orders(self):
+        with pytest.raises(ValueError):
+            RenyiAccountant(orders=(0.5, 2.0))
+
+    def test_epsilon_grows_sublinearly(self):
+        few = RenyiAccountant()
+        few.record_gaussian(4.0, count=10)
+        many = RenyiAccountant()
+        many.record_gaussian(4.0, count=1000)
+        ratio = many.to_dp(1e-5).epsilon / few.to_dp(1e-5).epsilon
+        assert ratio < 40  # far below the x100 of basic composition
+
+    def test_tighter_than_advanced_composition(self):
+        """RDP should certify a smaller total epsilon than Lemma 2 for the
+        same Gaussian mechanism repeated many times."""
+        sigma, T, delta = 8.0, 500, 1e-5
+        # Advanced composition: what total eps does Lemma 2 certify if each
+        # step is calibrated from sigma?  Invert the classical calibration:
+        eps_step = math.sqrt(2.0 * math.log(1.25 / (delta / (2 * T)))) / sigma
+        # Find the total budget whose advanced-composition step equals it.
+        # advanced eps_step = eps_total / (2 sqrt(2 T log(2/delta)))
+        eps_total_adv = eps_step * 2.0 * math.sqrt(2.0 * T * math.log(2.0 / delta))
+        acc = RenyiAccountant()
+        acc.record_gaussian(sigma, count=T)
+        eps_total_rdp = acc.to_dp(delta).epsilon
+        assert eps_total_rdp < eps_total_adv
+
+
+class TestCalibration:
+    def test_meets_target(self):
+        target = PrivacyBudget(1.0, 1e-5)
+        sigma = calibrate_noise_multiplier(target, n_steps=100)
+        acc = RenyiAccountant()
+        acc.record_gaussian(sigma, count=100)
+        assert acc.to_dp(1e-5).epsilon <= target.epsilon * (1 + 1e-2)
+
+    def test_is_not_wasteful(self):
+        """Slightly less noise must violate the target (tight calibration)."""
+        target = PrivacyBudget(1.0, 1e-5)
+        sigma = calibrate_noise_multiplier(target, n_steps=100, precision=1e-4)
+        acc = RenyiAccountant()
+        acc.record_gaussian(sigma * 0.95, count=100)
+        assert acc.to_dp(1e-5).epsilon > target.epsilon
+
+    def test_more_steps_more_noise(self):
+        target = PrivacyBudget(1.0, 1e-5)
+        assert (calibrate_noise_multiplier(target, 1000)
+                > calibrate_noise_multiplier(target, 10))
+
+    def test_pure_dp_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_noise_multiplier(PrivacyBudget(1.0), 10)

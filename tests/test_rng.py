@@ -1,0 +1,79 @@
+"""Tests for repro.rng seed plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_seed, ensure_rng, rng_stream, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1_000_000, size=5)
+        b = ensure_rng(7).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(42)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_is_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].normal(size=100)
+        b = children[1].normal(size=100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+    def test_reproducible_from_same_seed(self):
+        a = spawn_rngs(3, 2)[1].normal(size=4)
+        b = spawn_rngs(3, 2)[1].normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(1)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3
+
+
+class TestRngStream:
+    def test_yields_generators(self):
+        stream = rng_stream(0)
+        first = next(stream)
+        second = next(stream)
+        assert isinstance(first, np.random.Generator)
+        assert first is not second
+
+    def test_stream_children_differ(self):
+        stream = rng_stream(0)
+        a = next(stream).normal(size=50)
+        b = next(stream).normal(size=50)
+        assert not np.allclose(a, b)
+
+
+class TestDeriveSeed:
+    def test_range(self):
+        seed = derive_seed(np.random.default_rng(0))
+        assert 0 <= seed < 2**63
+
+    def test_advances_parent(self):
+        gen = np.random.default_rng(0)
+        first = derive_seed(gen)
+        second = derive_seed(gen)
+        assert first != second

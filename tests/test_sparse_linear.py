@@ -1,0 +1,139 @@
+"""Tests for Algorithm 3 — Heavy-tailed Private Sparse Linear Regression."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistributionSpec,
+    HeavyTailedSparseLinearRegression,
+    SquaredLoss,
+    make_linear_data,
+    sparse_truth,
+)
+
+
+def _sparse_data(rng, n=20_000, d=60, s_star=4):
+    w_star = sparse_truth(d, s_star, rng, norm_bound=0.5)
+    data = make_linear_data(n, w_star,
+                            DistributionSpec("gaussian", {"scale": 1.0}),
+                            DistributionSpec("lognormal", {"sigma": 0.5}),
+                            rng=rng)
+    return data
+
+
+class TestConfiguration:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HeavyTailedSparseLinearRegression(sparsity=0, epsilon=1.0, delta=1e-5)
+        with pytest.raises(ValueError):
+            HeavyTailedSparseLinearRegression(sparsity=3, epsilon=1.0, delta=1e-5,
+                                              project_radius=0.0)
+
+    def test_schedule(self):
+        solver = HeavyTailedSparseLinearRegression(sparsity=5, epsilon=1.0,
+                                                   delta=1e-5)
+        sched = solver.resolve_schedule(10_000)
+        assert sched.n_iterations == int(np.log(10_000))
+        assert sched.selection_size == 10
+        assert sched.threshold == pytest.approx(
+            (10_000 / (10 * sched.n_iterations)) ** 0.25)
+
+    def test_selection_size_exceeding_dim_rejected(self, rng):
+        solver = HeavyTailedSparseLinearRegression(sparsity=5, epsilon=1.0,
+                                                   delta=1e-5, selection_size=20)
+        with pytest.raises(ValueError):
+            solver.fit(rng.normal(size=(100, 10)), rng.normal(size=100), rng=rng)
+
+
+class TestPrivacyBookkeeping:
+    def test_budget(self, rng):
+        data = _sparse_data(rng, n=2000, d=20, s_star=2)
+        solver = HeavyTailedSparseLinearRegression(sparsity=2, epsilon=0.9,
+                                                   delta=1e-6)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert result.advertised_budget.epsilon == 0.9
+        assert result.privacy_spent.delta == pytest.approx(1e-6)
+
+
+class TestOptimization:
+    def test_output_is_sparse_and_feasible(self, rng):
+        data = _sparse_data(rng, n=4000, d=40, s_star=3)
+        solver = HeavyTailedSparseLinearRegression(sparsity=3, epsilon=1.0,
+                                                   delta=1e-5)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert np.count_nonzero(result.w) <= result.metadata["selection_size"]
+        assert np.linalg.norm(result.w) <= 1.0 + 1e-9
+
+    def test_supports_recorded_each_iteration(self, rng):
+        data = _sparse_data(rng, n=2000, d=20, s_star=2)
+        solver = HeavyTailedSparseLinearRegression(sparsity=2, epsilon=1.0,
+                                                   delta=1e-5)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert len(result.metadata["supports"]) == result.n_iterations
+
+    def test_curvature_metadata(self, rng):
+        data = _sparse_data(rng, n=2000, d=20, s_star=2)
+        solver = HeavyTailedSparseLinearRegression(sparsity=2, epsilon=1.0,
+                                                   delta=1e-5)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert result.metadata["curvature"] > 0
+        assert result.metadata["step_size"] == pytest.approx(
+            0.5 / result.metadata["curvature"])
+
+    def test_explicit_curvature_respected(self, rng):
+        data = _sparse_data(rng, n=1000, d=20, s_star=2)
+        solver = HeavyTailedSparseLinearRegression(sparsity=2, epsilon=1.0,
+                                                   delta=1e-5, curvature=4.0)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert result.metadata["curvature"] == 4.0
+
+    def test_recovery_at_generous_budget(self, rng):
+        """With a huge budget, plenty of data and an equal-magnitude
+        planted support, the support is found exactly."""
+        d = 30
+        w_star = np.zeros(d)
+        planted = rng.choice(d, size=3, replace=False)
+        w_star[planted] = 0.29
+        data = make_linear_data(50_000, w_star,
+                                DistributionSpec("gaussian", {"scale": 1.0}),
+                                DistributionSpec("lognormal", {"sigma": 0.5}),
+                                rng=rng)
+        solver = HeavyTailedSparseLinearRegression(sparsity=3, epsilon=50.0,
+                                                   delta=1e-3, expansion=1)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert set(np.nonzero(result.w)[0]) == set(planted.tolist())
+        assert np.linalg.norm(result.w - w_star) < 0.25
+
+    def test_error_shrinks_with_epsilon(self, rng):
+        errors = {}
+        for eps in (0.3, 30.0):
+            trial_errors = []
+            for seed in range(4):
+                trial = np.random.default_rng(seed)
+                data = _sparse_data(trial, n=20_000, d=40, s_star=3)
+                solver = HeavyTailedSparseLinearRegression(
+                    sparsity=3, epsilon=eps, delta=1e-5)
+                res = solver.fit(data.features, data.labels, rng=trial)
+                trial_errors.append(np.linalg.norm(res.w - data.w_star))
+            errors[eps] = np.mean(trial_errors)
+        assert errors[30.0] < errors[0.3]
+
+    def test_heavy_tailed_noise_tolerated(self, rng):
+        """Log-logistic noise (infinite mean!) must not break the fit."""
+        w_star = sparse_truth(30, 3, rng, norm_bound=0.5)
+        data = make_linear_data(20_000, w_star,
+                                DistributionSpec("gaussian", {"scale": 1.0}),
+                                DistributionSpec("log_logistic", {"c": 0.3}),
+                                rng=rng)
+        solver = HeavyTailedSparseLinearRegression(sparsity=3, epsilon=10.0,
+                                                   delta=1e-5)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert np.all(np.isfinite(result.w))
+
+    def test_reproducible(self, rng):
+        data = _sparse_data(rng, n=1000, d=20, s_star=2)
+        solver = HeavyTailedSparseLinearRegression(sparsity=2, epsilon=1.0,
+                                                   delta=1e-5)
+        a = solver.fit(data.features, data.labels, rng=np.random.default_rng(7))
+        b = solver.fit(data.features, data.labels, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.w, b.w)

@@ -1,0 +1,139 @@
+"""Tests for Algorithm 5 — Heavy-tailed Private Sparse Optimization."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistributionSpec,
+    HeavyTailedSparseOptimizer,
+    L2Regularized,
+    LogisticLoss,
+    SquaredLoss,
+    make_linear_data,
+    make_logistic_data,
+    sparse_truth,
+)
+
+
+def _logistic_data(rng, n=8000, d=40, s_star=3):
+    w_star = sparse_truth(d, s_star, rng, norm_bound=0.5)
+    return make_logistic_data(n, w_star,
+                              DistributionSpec("gaussian", {"scale": 1.0}),
+                              DistributionSpec("logistic", {"scale": 0.5}),
+                              rng=rng)
+
+
+class TestConfiguration:
+    def test_invalid_params(self):
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        with pytest.raises(ValueError):
+            HeavyTailedSparseOptimizer(loss, sparsity=0, epsilon=1.0, delta=1e-5)
+        with pytest.raises(ValueError):
+            HeavyTailedSparseOptimizer(loss, sparsity=2, epsilon=1.0, delta=1e-5,
+                                       step_size=0.0)
+
+    def test_schedule_defaults(self):
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=5, epsilon=1.0,
+                                            delta=1e-5)
+        sched = solver.resolve_schedule(10_000, 100)
+        assert sched.n_iterations == int(np.log(10_000))
+        assert sched.selection_size == 10
+        assert sched.scale > 0
+
+    def test_selection_exceeding_dim(self, rng):
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=5, epsilon=1.0,
+                                            delta=1e-5, selection_size=50)
+        X = rng.normal(size=(100, 10))
+        y = rng.choice([-1.0, 1.0], size=100)
+        with pytest.raises(ValueError):
+            solver.fit(X, y, rng=rng)
+
+
+class TestPrivacyBookkeeping:
+    def test_budget(self, rng):
+        data = _logistic_data(rng, n=1500, d=20, s_star=2)
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=2, epsilon=0.6,
+                                            delta=1e-6)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert result.advertised_budget.epsilon == 0.6
+        assert result.privacy_spent.delta == pytest.approx(1e-6)
+
+
+class TestOptimization:
+    def test_output_sparsity(self, rng):
+        data = _logistic_data(rng, n=2000, d=30, s_star=3)
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=3, epsilon=1.0,
+                                            delta=1e-5)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert np.count_nonzero(result.w) <= result.metadata["selection_size"]
+
+    def test_curvature_and_step_metadata(self, rng):
+        data = _logistic_data(rng, n=1500, d=20, s_star=2)
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=2, epsilon=1.0,
+                                            delta=1e-5, step_size=0.6)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert result.metadata["step_size"] == pytest.approx(
+            0.6 / result.metadata["curvature"])
+
+    def test_risk_improves_at_generous_budget(self, rng):
+        data = _logistic_data(rng, n=20_000, d=30, s_star=3)
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=3, epsilon=30.0,
+                                            delta=1e-3, tau=2.0)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        risk = loss.value(result.w, data.features, data.labels)
+        risk_zero = loss.value(np.zeros(30), data.features, data.labels)
+        assert risk < risk_zero
+
+    def test_support_recovery_at_generous_budget(self, rng):
+        d = 30
+        w_star = np.zeros(d)
+        planted = rng.choice(d, size=3, replace=False)
+        w_star[planted] = 0.29
+        data = make_logistic_data(30_000, w_star,
+                                  DistributionSpec("gaussian", {"scale": 1.0}),
+                                  DistributionSpec("logistic", {"scale": 0.5}),
+                                  rng=rng)
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=3, epsilon=50.0,
+                                            delta=1e-3, tau=2.0, expansion=1,
+                                            n_iterations=15)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        truth = set(planted.tolist())
+        found = set(np.nonzero(result.w)[0].tolist())
+        assert len(truth & found) >= 2
+
+    def test_works_with_squared_loss(self, rng):
+        w_star = sparse_truth(25, 3, rng, norm_bound=0.5)
+        data = make_linear_data(10_000, w_star,
+                                DistributionSpec("gaussian", {"scale": 1.0}),
+                                DistributionSpec("lognormal", {"sigma": 0.5}),
+                                rng=rng)
+        solver = HeavyTailedSparseOptimizer(SquaredLoss(), sparsity=3,
+                                            epsilon=20.0, delta=1e-3, tau=4.0)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert np.all(np.isfinite(result.w))
+
+    def test_robust_to_gross_outliers(self, rng):
+        data = _logistic_data(rng, n=4000, d=20, s_star=2)
+        X = data.features.copy()
+        X[0] = 1e9  # one wildly corrupted row
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=2, epsilon=2.0,
+                                            delta=1e-5, curvature=1.0)
+        result = solver.fit(X, data.labels, rng=rng)
+        assert np.all(np.isfinite(result.w))
+
+    def test_reproducible(self, rng):
+        data = _logistic_data(rng, n=1000, d=15, s_star=2)
+        loss = L2Regularized(LogisticLoss(), 0.01)
+        solver = HeavyTailedSparseOptimizer(loss, sparsity=2, epsilon=1.0,
+                                            delta=1e-5)
+        a = solver.fit(data.features, data.labels, rng=np.random.default_rng(2))
+        b = solver.fit(data.features, data.labels, rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(a.w, b.w)

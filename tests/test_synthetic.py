@@ -1,0 +1,126 @@
+"""Tests for the Section 6.1 synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DistributionSpec,
+    l1_ball_truth,
+    make_linear_data,
+    make_logistic_data,
+    sparse_truth,
+)
+
+GAUSS = DistributionSpec("gaussian", {"scale": 1.0})
+NOISE = DistributionSpec("gaussian", {"scale": 0.1})
+
+
+class TestTruthGenerators:
+    def test_l1_ball_truth_feasible(self, rng):
+        for _ in range(5):
+            w = l1_ball_truth(20, rng)
+            assert np.abs(w).sum() <= 1.0
+
+    def test_l1_ball_truth_radius(self, rng):
+        w = l1_ball_truth(10, rng, radius=3.0)
+        assert np.abs(w).sum() <= 3.0
+
+    def test_sparse_truth_sparsity(self, rng):
+        w = sparse_truth(100, 7, rng)
+        assert np.count_nonzero(w) == 7
+
+    def test_sparse_truth_norm(self, rng):
+        w = sparse_truth(50, 5, rng, norm_bound=0.5)
+        assert np.linalg.norm(w) <= 0.5 + 1e-12
+
+    def test_sparse_truth_rejects_oversparse(self, rng):
+        with pytest.raises(ValueError):
+            sparse_truth(5, 10, rng)
+
+    def test_random_support(self, rng):
+        supports = {tuple(np.nonzero(sparse_truth(30, 3, rng))[0])
+                    for _ in range(10)}
+        assert len(supports) > 1
+
+
+class TestLinearData:
+    def test_shapes(self, rng):
+        w = l1_ball_truth(6, rng)
+        data = make_linear_data(100, w, GAUSS, NOISE, rng=rng)
+        assert data.features.shape == (100, 6)
+        assert data.labels.shape == (100,)
+        assert data.n_samples == 100 and data.dimension == 6
+
+    def test_noiseless_labels_exact(self, rng):
+        w = l1_ball_truth(4, rng)
+        data = make_linear_data(50, w, GAUSS, None, rng=rng)
+        np.testing.assert_allclose(data.labels, data.features @ w)
+
+    def test_noise_is_centered(self, rng):
+        w = np.zeros(3)
+        data = make_linear_data(200_000, w, GAUSS,
+                                DistributionSpec("lognormal", {"sigma": 0.5}),
+                                rng=rng)
+        assert abs(data.labels.mean()) < 0.02
+
+    def test_uncentered_noise(self, rng):
+        w = np.zeros(3)
+        data = make_linear_data(100_000, w, GAUSS,
+                                DistributionSpec("lognormal", {"sigma": 0.5}),
+                                rng=rng, center_noise=False)
+        assert data.labels.mean() == pytest.approx(np.exp(0.125), rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        w = np.ones(3) / 3
+        a = make_linear_data(20, w, GAUSS, NOISE, rng=np.random.default_rng(5))
+        b = make_linear_data(20, w, GAUSS, NOISE, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestLogisticData:
+    def test_labels_are_pm1(self, rng):
+        w = l1_ball_truth(5, rng)
+        data = make_logistic_data(200, w, GAUSS, NOISE, rng=rng)
+        assert set(np.unique(data.labels)) <= {-1.0, 1.0}
+
+    def test_labels_match_sign_rule_noiseless(self, rng):
+        w = l1_ball_truth(5, rng)
+        data = make_logistic_data(200, w, GAUSS, None, rng=rng)
+        expected = np.where(data.features @ w > 0, 1.0, -1.0)
+        np.testing.assert_array_equal(data.labels, expected)
+
+    def test_signal_is_learnable(self, rng):
+        """Labels should correlate with the planted direction."""
+        w = np.zeros(4)
+        w[0] = 1.0
+        data = make_logistic_data(5000, w, GAUSS, None, rng=rng)
+        agreement = np.mean(np.sign(data.features[:, 0]) == data.labels)
+        assert agreement > 0.95
+
+
+class TestSplit:
+    def test_partition(self, rng):
+        w = l1_ball_truth(4, rng)
+        data = make_linear_data(100, w, GAUSS, NOISE, rng=rng)
+        train, evaluation = data.split(0.7, rng=rng)
+        assert train.n_samples == 70
+        assert evaluation.n_samples == 30
+        assert train.w_star is data.w_star
+
+    def test_invalid_fraction(self, rng):
+        w = l1_ball_truth(4, rng)
+        data = make_linear_data(10, w, GAUSS, NOISE, rng=rng)
+        with pytest.raises(ValueError):
+            data.split(0.0)
+        with pytest.raises(ValueError):
+            data.split(1.0)
+
+    def test_rows_are_disjoint(self, rng):
+        w = np.zeros(2)
+        data = make_linear_data(50, w, GAUSS, None, rng=rng)
+        # tag rows by unique feature values to verify the partition
+        train, evaluation = data.split(0.5, rng=rng)
+        train_rows = {tuple(row) for row in train.features}
+        eval_rows = {tuple(row) for row in evaluation.features}
+        assert not (train_rows & eval_rows)

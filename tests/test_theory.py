@@ -1,0 +1,96 @@
+"""Tests for the theoretical-rate calculators."""
+
+import pytest
+
+from repro.theory import (
+    theorem2_rate,
+    theorem3_rate,
+    theorem5_rate,
+    theorem7_rate,
+    theorem8_rate,
+    theorem9_rate,
+    upper_to_lower_gap,
+)
+
+N, EPS, DELTA, D = 100_000, 1.0, 1e-5, 1000
+
+
+class TestScalings:
+    def test_theorem2_n_scaling(self):
+        """Doubling n*eps shrinks the Thm 2 rate by ~2^{1/3}."""
+        a = theorem2_rate(N, EPS, D, 2 * D)
+        b = theorem2_rate(8 * N, EPS, D, 2 * D)
+        assert b == pytest.approx(a / 2.0, rel=0.05)  # x8 n -> /2
+
+    def test_theorem3_slower_than_theorem2(self):
+        """The non-convex rate (nε)^{-1/4} is slower than (nε)^{-1/3}."""
+        assert (theorem3_rate(N, EPS, D)
+                > theorem2_rate(N, EPS, D, 2 * D) / 10)
+        # scaling comparison at large n:
+        big = 10**9
+        assert theorem3_rate(big, EPS, D) > theorem2_rate(big, EPS, D, 2 * big)
+
+    def test_theorem5_decays_faster_than_theorem2(self):
+        """(nε)^{-2/5} decays faster than (nε)^{-1/3} — the paper's
+        motivation for Algorithm 2.  (Because of Theorem 5's larger log
+        factors, the *crossover* happens at astronomically large n; the
+        decay-rate comparison is the robust check.)"""
+        ratio5 = theorem5_rate(100 * N, EPS, DELTA, D) / theorem5_rate(N, EPS, DELTA, D)
+        ratio2 = (theorem2_rate(100 * N, EPS, D, 2 * D)
+                  / theorem2_rate(N, EPS, D, 2 * D))
+        assert ratio5 < ratio2
+
+    def test_theorem7_sparsity_squared(self):
+        a = theorem7_rate(N, EPS, DELTA, D, sparsity=4)
+        b = theorem7_rate(N, EPS, DELTA, D, sparsity=8)
+        assert b == pytest.approx(4.0 * a, rel=1e-9)
+
+    def test_theorem8_sparsity_power(self):
+        a = theorem8_rate(N, EPS, DELTA, D, sparsity=4)
+        b = theorem8_rate(N, EPS, DELTA, D, sparsity=16)
+        assert b == pytest.approx(8.0 * a, rel=1e-9)  # (16/4)^{3/2}
+
+    def test_theorem9_min_branches(self):
+        # huge delta branch: log(1/delta) small -> active
+        small_delta_rate = theorem9_rate(N, EPS, 1e-300, D, sparsity=50)
+        normal_rate = theorem9_rate(N, EPS, DELTA, D, sparsity=50)
+        assert normal_rate <= small_delta_rate
+
+    def test_all_rates_1_over_n_eps_family(self):
+        for fn in (lambda n: theorem7_rate(n, EPS, DELTA, D, 4),
+                   lambda fn_n: None,):
+            break
+        a = theorem7_rate(N, EPS, DELTA, D, 4)
+        b = theorem7_rate(2 * N, EPS, DELTA, D, 4)
+        # 1/n up to the log n factor
+        assert a / 2 < b < a
+
+
+class TestGap:
+    def test_upper_dominates_lower(self):
+        assert upper_to_lower_gap(N, EPS, DELTA, D, 16) > 1.0
+
+    def test_gap_grows_like_sqrt_sparsity(self):
+        # delta small enough that s* log d is the active branch of the
+        # lower bound's min for BOTH sparsities (16 log 1000 ~ 110 < 138).
+        delta = 1e-60
+        g4 = upper_to_lower_gap(N, EPS, delta, D, 4)
+        g16 = upper_to_lower_gap(N, EPS, delta, D, 16)
+        # Thm 8 scales as s^{3/2}, Thm 9 as s -> gap ratio is (16/4)^{1/2}.
+        assert g16 / g4 == pytest.approx(2.0, rel=1e-6)
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            theorem2_rate(0, EPS, D, 2 * D)
+        with pytest.raises(ValueError):
+            theorem5_rate(N, -1.0, DELTA, D)
+        with pytest.raises(ValueError):
+            theorem7_rate(N, EPS, DELTA, D, sparsity=0)
+        with pytest.raises(ValueError):
+            theorem9_rate(N, EPS, -1e-5, D, 5)
+
+    def test_constant_is_linear(self):
+        assert theorem2_rate(N, EPS, D, 2 * D, constant=3.0) == pytest.approx(
+            3.0 * theorem2_rate(N, EPS, D, 2 * D))

@@ -1,0 +1,176 @@
+"""Tests for the weak-moment (truncated mean) extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import TruncatedMeanEstimator, optimal_truncation_threshold
+
+
+class TestTruncatedMeanEstimator:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            TruncatedMeanEstimator(threshold=0.0)
+
+    def test_estimates_bounded_data_exactly(self, rng):
+        x = rng.uniform(-1, 1, size=5000)
+        est = TruncatedMeanEstimator(threshold=2.0)
+        assert est.estimate(x) == pytest.approx(float(np.mean(x)))
+
+    def test_robust_to_outliers(self, rng):
+        x = rng.normal(loc=1.0, size=3000)
+        x[:3] = 1e12
+        est = TruncatedMeanEstimator(threshold=5.0)
+        assert est.estimate(x) == pytest.approx(1.0, abs=0.2)
+
+    def test_influence_bounded(self, rng):
+        est = TruncatedMeanEstimator(threshold=3.0)
+        x = rng.standard_cauchy(size=1000) * 100
+        assert np.all(np.abs(est.influence(x)) <= 3.0)
+
+    def test_sensitivity_formula(self):
+        est = TruncatedMeanEstimator(threshold=4.0)
+        assert est.sensitivity(100) == pytest.approx(0.08)
+
+    def test_sensitivity_realized(self, rng):
+        est = TruncatedMeanEstimator(threshold=2.5)
+        x = rng.normal(size=150)
+        base = est.estimate(x)
+        worst = 0.0
+        for replacement in (1e9, -1e9):
+            x2 = x.copy()
+            x2[0] = replacement
+            worst = max(worst, abs(est.estimate(x2) - base))
+        assert worst <= est.sensitivity(150) + 1e-12
+
+    def test_columns_match_scalar(self, rng):
+        est = TruncatedMeanEstimator(threshold=1.5)
+        X = rng.normal(size=(200, 3))
+        np.testing.assert_allclose(
+            est.estimate_columns(X),
+            [est.estimate(X[:, j]) for j in range(3)])
+
+    def test_shape_validation(self):
+        est = TruncatedMeanEstimator(threshold=1.0)
+        with pytest.raises(ValueError):
+            est.estimate(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            est.estimate_columns(np.ones(4))
+
+    def test_bias_bound_rate(self):
+        est = TruncatedMeanEstimator(threshold=10.0)
+        # moment_order = 1.5 -> v = 0.5 -> bias <= m / sqrt(10)
+        assert est.bias_bound(1.5, 2.0) == pytest.approx(2.0 / 10.0**0.5)
+
+    def test_bias_bound_rejects_bad_order(self):
+        est = TruncatedMeanEstimator(threshold=1.0)
+        with pytest.raises(ValueError):
+            est.bias_bound(1.0, 1.0)
+        with pytest.raises(ValueError):
+            est.bias_bound(2.5, 1.0)
+
+    def test_error_bound_holds_on_pareto(self, rng):
+        """Pareto(1.5) has a finite 1.4-th moment; the bound should hold."""
+        tail = 1.5
+        order = 1.4
+        n = 20_000
+        x_ref = rng.pareto(tail, size=500_000) + 1.0
+        truth = tail / (tail - 1.0)  # mean of Pareto with x_m=1
+        m_v = float(np.mean(x_ref**order))
+        failures = 0
+        for _ in range(20):
+            x = rng.pareto(tail, size=n) + 1.0
+            est = TruncatedMeanEstimator(threshold=(n * m_v) ** (1 / order))
+            bound = est.error_bound(n, order, m_v, 0.05)
+            if abs(est.estimate(x) - truth) > bound:
+                failures += 1
+        assert failures <= 2
+
+    @given(st.floats(min_value=0.1, max_value=100))
+    @settings(max_examples=30)
+    def test_estimate_bounded_by_threshold(self, threshold):
+        est = TruncatedMeanEstimator(threshold=threshold)
+        x = np.array([1e30, -1e30, 5.0])
+        assert abs(est.estimate(x)) <= threshold
+
+
+class TestOptimalThreshold:
+    def test_balances_bias_and_noise(self):
+        n, eps, order, m = 10_000, 1.0, 1.5, 2.0
+        B = optimal_truncation_threshold(n, eps, order, m)
+        v = order - 1.0
+        bias = m / B**v
+        noise = B / (n * eps)
+        assert bias == pytest.approx(noise, rel=1e-9)
+
+    def test_grows_with_n(self):
+        assert (optimal_truncation_threshold(10**6, 1.0, 1.5)
+                > optimal_truncation_threshold(10**3, 1.0, 1.5))
+
+    def test_heavier_tail_means_smaller_threshold(self):
+        # smaller v -> exponent 1/(1+v) larger -> bigger threshold; check
+        # direction explicitly for the same budget.
+        light = optimal_truncation_threshold(10_000, 1.0, 2.0)
+        heavy = optimal_truncation_threshold(10_000, 1.0, 1.1)
+        assert heavy > light
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            optimal_truncation_threshold(0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            optimal_truncation_threshold(100, 1.0, 3.0)
+
+
+class TestDPFWWithTruncatedEstimator:
+    def test_runs_and_accounts(self, rng):
+        from repro import (
+            DistributionSpec,
+            HeavyTailedDPFW,
+            L1Ball,
+            SquaredLoss,
+            l1_ball_truth,
+            make_linear_data,
+        )
+
+        w_star = l1_ball_truth(8, rng)
+        data = make_linear_data(2000, w_star,
+                                DistributionSpec("lognormal", {"sigma": 0.6}),
+                                DistributionSpec("gaussian", {"scale": 0.1}),
+                                rng=rng)
+        solver = HeavyTailedDPFW(SquaredLoss(), L1Ball(8), epsilon=1.0,
+                                 tau=5.0, gradient_estimator="truncated",
+                                 moment_order=1.5)
+        result = solver.fit(data.features, data.labels, rng=rng)
+        assert result.metadata["gradient_estimator"] == "truncated"
+        assert result.advertised_budget.is_pure
+        assert np.all(np.isfinite(result.w))
+
+    def test_invalid_estimator_name(self):
+        from repro import HeavyTailedDPFW, L1Ball, SquaredLoss
+
+        with pytest.raises(ValueError):
+            HeavyTailedDPFW(SquaredLoss(), L1Ball(4), epsilon=1.0,
+                            gradient_estimator="bogus")
+
+    def test_robust_to_outliers(self, rng):
+        from repro import (
+            DistributionSpec,
+            HeavyTailedDPFW,
+            L1Ball,
+            SquaredLoss,
+            l1_ball_truth,
+            make_linear_data,
+        )
+
+        w_star = l1_ball_truth(6, rng)
+        data = make_linear_data(3000, w_star,
+                                DistributionSpec("lognormal", {"sigma": 0.6}),
+                                DistributionSpec("gaussian", {"scale": 0.1}),
+                                rng=rng)
+        X, y = data.features.copy(), data.labels.copy()
+        X[0], y[0] = 1e9, -1e9
+        solver = HeavyTailedDPFW(SquaredLoss(), L1Ball(6), epsilon=2.0,
+                                 tau=5.0, gradient_estimator="truncated")
+        result = solver.fit(X, y, rng=rng)
+        assert np.all(np.isfinite(result.w))
