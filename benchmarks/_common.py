@@ -15,36 +15,120 @@ preserving every trend.  Set the environment variable
 from __future__ import annotations
 
 import os
+import pickle
+import warnings
 from pathlib import Path
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.evaluation import format_series_table, shape_summary
-from repro.rng import spawn_rngs
+from repro.evaluation import format_series_table, run_grid, shape_summary
+from repro.evaluation.engine import canonical_token, stable_repr
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
 #: Trials per sweep point (the paper uses >= 20).
 N_TRIALS = 10 if FULL else 3
 
+#: Executor for the sweep grids: "serial" (default) or "process".  The
+#: figure points below are closures, which the process executor cannot
+#: pickle — "process" is only usable with module-level point functions.
+EXECUTOR = os.environ.get("REPRO_BENCH_EXECUTOR", "serial")
+
+#: Optional on-disk cell cache; rerunning a bench recomputes only the
+#: cells missing from this directory.
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _describe_value(value, depth: int = 0, seen=None) -> str:
+    """Stable description of a closure cell for cache keying.
+
+    Captured functions are described by qualname *plus a recursive
+    description of their own closures* — panels built by a shared
+    factory often differ only through state buried one closure level
+    down (e.g. a `make` helper capturing the figure's DistributionSpec).
+    Memory addresses are stripped from reprs so descriptions are stable
+    across processes.  Depth/cycle limits keep the walk bounded.  Best
+    effort, not a proof: state that reprs don't expose (default-repr
+    objects, exotic callables) is invisible here, so panels relying on
+    such state must pass distinct root seeds — as every current bench
+    does — or disable the shared cache.
+    """
+    if seen is None:
+        seen = set()
+    if depth > 4 or id(value) in seen:
+        return "<deep>"
+    if callable(value) and hasattr(value, "__qualname__"):
+        seen.add(id(value))
+        cells = getattr(value, "__closure__", None) or ()
+        parts = [_describe_value(c.cell_contents, depth + 1, seen)
+                 for c in cells]
+        # A bound method's state lives on __self__, not in a closure.
+        bound_self = getattr(value, "__self__", None)
+        if bound_self is not None:
+            parts.append("self=" + _describe_value(bound_self, depth + 1, seen))
+        return (f"fn:{getattr(value, '__module__', '')}"
+                f".{value.__qualname__}({';'.join(parts)})")
+    # Leaves reuse the engine's canonical encoding (process-stable, sorts
+    # sets, digests arrays); its strict rejection of default-repr objects
+    # falls back to a stripped repr here — tags only gate cache *hits*.
+    try:
+        return canonical_token(value)
+    except Exception:
+        try:
+            return stable_repr(value)
+        except Exception:
+            return "<unrepresentable>"
+
+
+def _cache_tag(point) -> str:
+    """Cache tag for a point function: identity plus captured state.
+
+    The qualname alone is not enough — several benches build their
+    points from a shared factory (same ``<locals>.point`` qualname) and
+    differ only in closed-over values, possibly nested — so the tag is
+    the recursive closure description.
+    """
+    return _describe_value(point)
 
 
 def run_sweep(point: Callable[[object, object, np.random.Generator], float],
               sweep_values: Sequence, series_values: Sequence,
               n_trials: int = N_TRIALS, seed: int = 0
               ) -> Dict[object, List[float]]:
-    """Average ``point(series, x, rng)`` over trials for each grid cell."""
-    out: Dict[object, List[float]] = {}
-    for si, series in enumerate(series_values):
-        curve = []
-        for xi, x in enumerate(sweep_values):
-            rngs = spawn_rngs(np.random.SeedSequence(seed, spawn_key=(si, xi)),
-                              n_trials)
-            curve.append(float(np.mean([point(series, x, rng) for rng in rngs])))
-        out[series] = curve
-    return out
+    """Average ``point(series, x, rng)`` over trials for each grid cell.
+
+    A thin wrapper over :func:`repro.evaluation.run_grid`, so the bench
+    grids get the engine's stable cross-process seeding, optional
+    parallel fan-out (``REPRO_BENCH_EXECUTOR``) and cell caching
+    (``REPRO_BENCH_CACHE``) for free.  Closure-based points (all the
+    current figure panels) cannot cross a process boundary; they fall
+    back to the serial executor with a warning rather than failing the
+    bench.
+    """
+    executor = EXECUTOR
+    if executor == "process":
+        try:
+            pickle.dumps(point)
+        except Exception:
+            warnings.warn(f"point {point!r} is not picklable; "
+                          "falling back to the serial executor")
+            executor = "serial"
+    tag = _cache_tag(point)
+    result = run_grid(point, "x", sweep_values, "series", series_values,
+                      n_trials=n_trials, seed=seed, executor=executor,
+                      cache=CACHE_DIR, cache_tag=tag)
+    return {series: [stat.mean for stat in result.series[series]]
+            for series in series_values}
+
+
+#: Result files already written this run — the first panel of a bench
+#: truncates its file so a rerun never leaves stale (and possibly
+#: irreproducible) tables from earlier code stacked above fresh ones;
+#: later panels of the same bench append.
+_WRITTEN: set = set()
 
 
 def emit_table(name: str, title: str, x_name: str, x_values: Sequence,
@@ -59,7 +143,9 @@ def emit_table(name: str, title: str, x_name: str, x_values: Sequence,
     text = f"\n{table}\n{trends}\n"
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    with open(RESULTS_DIR / f"{name}.txt", "a") as fh:
+    mode = "a" if name in _WRITTEN else "w"
+    _WRITTEN.add(name)
+    with open(RESULTS_DIR / f"{name}.txt", mode) as fh:
         fh.write(text)
     return text
 

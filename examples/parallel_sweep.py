@@ -1,0 +1,62 @@
+"""Fan a figure-style sweep grid out over worker processes.
+
+Demonstrates the experiment engine behind ``sweep()``:
+
+* every (series, sweep, trial) cell is an independently seeded job, so
+  the ``process`` executor reproduces the ``serial`` executor
+  bit-for-bit while using all cores;
+* an on-disk cell cache makes an immediate re-run near-instant — only
+  missing cells are recomputed.
+
+The point function must be module-level (picklable) for the process
+executor; closures and lambdas only work with the serial executor.
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.evaluation import ResultCache, run_grid
+
+
+def noisy_quadratic(series, x, rng):
+    """A stand-in for one figure cell: O(ms) of real numpy work."""
+    dim = int(series)
+    samples = rng.normal(size=(int(x), dim))
+    w = rng.normal(size=dim) / np.sqrt(dim)
+    return float(np.mean((samples @ w) ** 2))
+
+
+def timed(label, **kwargs):
+    start = time.perf_counter()
+    result = run_grid(noisy_quadratic, "n", [1000, 2000, 4000, 8000],
+                      "d", [64, 128], n_trials=6, seed=2026, **kwargs)
+    elapsed = time.perf_counter() - start
+    print(f"{label:>28}: {elapsed:6.2f}s")
+    return result, elapsed
+
+
+def main():
+    serial, t_serial = timed("serial executor")
+    procs, t_procs = timed("process executor", executor="process",
+                           chunksize=2)
+    for d in (64, 128):
+        assert serial.means(d).tolist() == procs.means(d).tolist(), \
+            "executors must agree bit-for-bit"
+    print(f"{'serial/process ratio':>28}: {t_serial / t_procs:6.2f}x "
+          "(identical results, same seeds; gains scale with core count)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        timed("cold cache", cache=cache)
+        _, t_warm = timed("warm cache", cache=cache)
+        print(f"{'cache hits':>28}: {cache.hits} cells "
+              f"(re-run took {t_warm:.3f}s)")
+
+    print()
+    print(serial.format_table(title="mean squared projection vs n"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,15 @@
-"""Evaluation harness: metrics, repeated-trial runner, sweeps, tables."""
+"""Evaluation harness: metrics, engine, repeated-trial runner, sweeps, tables."""
 
 from .ascii_plots import ascii_plot
+from .engine import (
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    TrialJob,
+    build_jobs,
+    get_executor,
+    run_grid,
+)
 from .metrics import (
     classification_accuracy,
     excess_empirical_risk,
@@ -15,16 +24,23 @@ from .tables import format_series_table, markdown_table, shape_summary
 
 __all__ = [
     "ExperimentRunner",
-    "ascii_plot",
+    "ProcessExecutor",
+    "ResultCache",
+    "SerialExecutor",
     "SweepResult",
+    "TrialJob",
     "TrialStats",
+    "ascii_plot",
+    "build_jobs",
     "classification_accuracy",
     "excess_empirical_risk",
     "format_series_table",
+    "get_executor",
     "markdown_table",
     "mean_squared_estimation_error",
     "parameter_error",
     "relative_risk_gap",
+    "run_grid",
     "shape_summary",
     "support_recovery",
     "sweep",

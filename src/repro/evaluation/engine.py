@@ -1,0 +1,452 @@
+"""Parallel, cache-aware experiment engine.
+
+Every figure panel in the paper is a (series × sweep × trial) grid of
+independent stochastic experiments.  This module materialises each grid
+cell as a :class:`TrialJob` — an independently seeded, picklable unit of
+work — and fans the jobs out over a pluggable executor (serial in-process
+or a :class:`concurrent.futures.ProcessPoolExecutor` pool), optionally
+short-circuiting cells whose trial values are already present in an
+on-disk :class:`ResultCache`.
+
+Seeding is the load-bearing correctness property.  Cell seeds are derived
+from a *stable digest* of the cell coordinates (``hashlib.blake2b`` over a
+canonical encoding of the series/sweep names and values) combined with
+the root :class:`numpy.random.SeedSequence`.  The builtin :func:`hash` is
+never used: it is salted per process (``PYTHONHASHSEED``), which is
+exactly the bug that made the old ``sweep()`` non-reproducible across
+processes.  Because seeds depend only on the root seed and the cell's
+coordinates — never on grid *indices* or execution order — the serial and
+process executors produce bit-identical results, and the cache stays
+sound when a grid is extended with new sweep values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..rng import GridSeed, SeedLike, spawn_rngs
+from .runner import TrialStats
+from .sweeps import SweepResult
+
+#: point(series_value, sweep_value, rng) -> scalar error.
+PointFn = Callable[[object, object, np.random.Generator], float]
+
+#: A trial function maps ``rng -> metric value`` (or a dict of metrics).
+TrialFn = Callable[[np.random.Generator], float]
+
+
+# ---------------------------------------------------------------------------
+# Stable digests — the fix for the process-salted hash() seeding bug.
+# ---------------------------------------------------------------------------
+
+def stable_repr(value: object) -> str:
+    """``repr`` with memory addresses stripped, for process-stable keys.
+
+    Only the default-repr ``at 0x...`` address pattern is stripped —
+    a hex literal that is part of the value's state (``Spec(0xff)``)
+    must survive, or distinct values would collide.
+    """
+    return re.sub(r" at 0x[0-9a-f]+", " at 0x", repr(value))
+
+
+def canonical_token(value: object) -> str:
+    """A stable, type-tagged text encoding of one coordinate value.
+
+    Two values map to the same token iff they would label the same grid
+    cell: the encoding is independent of the process (unlike ``hash``),
+    tags the type so ``1`` and ``"1"`` stay distinct, and round-trips
+    floats exactly via ``float.hex``.  Free-form payloads (strings,
+    reprs) are length-prefixed so that no choice of value can mimic the
+    token separators — tokens decode unambiguously, hence never collide.
+
+    Objects are admitted only if their type defines a ``__repr__`` of
+    its own: the inherited default repr is just a per-process memory
+    address, which would silently reintroduce the cross-process seeding
+    bug this module exists to fix.  Any address that still appears
+    inside a custom repr (e.g. an embedded sub-object) is stripped.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool):
+        return f"b:{value}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value.hex()}"
+    if isinstance(value, str):
+        return f"s:{len(value)}:{value}"
+    if isinstance(value, (tuple, list)):
+        return "t:[" + ",".join(canonical_token(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        # Iteration order is hash-salted for str members; sort by token.
+        return "S:{" + ",".join(sorted(canonical_token(v) for v in value)) + "}"
+    if isinstance(value, np.ndarray):
+        # repr() elides large arrays ('...'), which would collide distinct
+        # coordinates; digest the full buffer instead.
+        body = hashlib.blake2b(np.ascontiguousarray(value).tobytes(),
+                               digest_size=8).hexdigest()
+        return f"a:{value.dtype}:{value.shape}:{body}"
+    if type(value).__repr__ is object.__repr__:
+        raise TypeError(
+            f"cannot derive a stable seed token for {type(value).__name__!r}: "
+            f"its repr is the default per-process memory address; use an "
+            f"int/float/str coordinate or a type with a meaningful __repr__")
+    text = stable_repr(value)
+    return f"r:{len(text)}:{text}"
+
+
+def cell_seed_words(series_name: str, series_value: object,
+                    sweep_name: str, sweep_value: object) -> Tuple[int, int]:
+    """Two 32-bit spawn-key words stably derived from a cell's coordinates."""
+    payload = "\x1f".join([
+        canonical_token(series_name), canonical_token(series_value),
+        canonical_token(sweep_name), canonical_token(sweep_value),
+    ])
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+    return (int.from_bytes(digest[:4], "little"),
+            int.from_bytes(digest[4:], "little"))
+
+
+def _normalize_root(seed: GridSeed) -> np.random.SeedSequence:
+    """Root seed for a grid: an ``int`` or an explicit ``SeedSequence``.
+
+    Anything else (``None``, a ``Generator``, a float, …) is rejected:
+    the engine's reproducibility and cache-key guarantees only hold for
+    seeds that can be re-stated exactly in a fresh process.
+    """
+    if isinstance(seed, (bool, np.bool_)):
+        raise TypeError(f"unsupported root seed type {type(seed).__name__!r}; "
+                        "pass an int or a numpy.random.SeedSequence")
+    if isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(int(seed))
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    raise TypeError(f"unsupported root seed type {type(seed).__name__!r}; "
+                    "pass an int or a numpy.random.SeedSequence")
+
+
+# ---------------------------------------------------------------------------
+# TrialJob — one independently seeded grid cell.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrialJob:
+    """One (series, sweep) cell of a figure panel: ``n_trials`` repeats.
+
+    Jobs are frozen, picklable value objects — everything a worker
+    process needs (coordinates, trial count, and the exact seed material)
+    travels with the job, so results cannot depend on which executor or
+    process runs them.
+    """
+
+    series_index: int
+    sweep_index: int
+    series_value: object
+    sweep_value: object
+    n_trials: int
+    entropy: object
+    spawn_key: Tuple[int, ...]
+    digest: str
+
+    @classmethod
+    def create(cls, *, series_index: int, sweep_index: int,
+               series_value: object, sweep_value: object, n_trials: int,
+               root: np.random.SeedSequence, sweep_name: str,
+               series_name: str, cache_tag: str = "") -> "TrialJob":
+        """Build a job with digest-derived seed material for one cell."""
+        words = cell_seed_words(series_name, series_value,
+                                sweep_name, sweep_value)
+        spawn_key = tuple(int(k) for k in root.spawn_key) + words
+        digest = hashlib.blake2b("\x1f".join([
+            canonical_token(cache_tag),
+            canonical_token(root.entropy if not isinstance(root.entropy, np.ndarray)
+                            else root.entropy.tolist()),
+            canonical_token(tuple(int(k) for k in root.spawn_key)),
+            canonical_token(series_name), canonical_token(series_value),
+            canonical_token(sweep_name), canonical_token(sweep_value),
+            canonical_token(n_trials),
+        ]).encode("utf-8"), digest_size=16).hexdigest()
+        return cls(series_index=series_index, sweep_index=sweep_index,
+                   series_value=series_value, sweep_value=sweep_value,
+                   n_trials=n_trials, entropy=root.entropy,
+                   spawn_key=spawn_key, digest=digest)
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The cell's root :class:`~numpy.random.SeedSequence`."""
+        return np.random.SeedSequence(entropy=self.entropy,
+                                      spawn_key=self.spawn_key)
+
+    def execute(self, point: PointFn) -> List[float]:
+        """Run all trials of this cell and return the raw trial values."""
+        rngs = spawn_rngs(self.seed_sequence(), self.n_trials)
+        return [float(point(self.series_value, self.sweep_value, rng))
+                for rng in rngs]
+
+
+def build_jobs(sweep_name: str, sweep_values: Sequence[object],
+               series_name: str, series_values: Sequence[object],
+               n_trials: int, seed: GridSeed,
+               cache_tag: str = "") -> List[TrialJob]:
+    """Materialise every grid cell of a panel as an independent job.
+
+    Series values must be unique: they key the result's ``series``
+    mapping, and a duplicate would silently interleave two copies of
+    the curve into one list.  (Duplicate *sweep* values are harmless —
+    equal coordinates get equal seeds and equal results.)
+    """
+    if len(set(series_values)) != len(list(series_values)):
+        raise ValueError(f"series_values must be unique, got {list(series_values)!r}")
+    root = _normalize_root(seed)
+    jobs: List[TrialJob] = []
+    for si, series_value in enumerate(series_values):
+        for xi, sweep_value in enumerate(sweep_values):
+            jobs.append(TrialJob.create(
+                series_index=si, sweep_index=xi, series_value=series_value,
+                sweep_value=sweep_value, n_trials=n_trials, root=root,
+                sweep_name=sweep_name, series_name=series_name,
+                cache_tag=cache_tag))
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# Trial helpers shared with ExperimentRunner.
+# ---------------------------------------------------------------------------
+
+def run_trial_values(trial: TrialFn, n_trials: int, seed: SeedLike) -> List[float]:
+    """Scalar trial values from ``n_trials`` independently seeded repeats."""
+    return [float(trial(rng)) for rng in spawn_rngs(seed, n_trials)]
+
+
+def run_trial_outcomes(trial: Callable[[np.random.Generator], Dict[str, float]],
+                       n_trials: int, seed: SeedLike) -> List[Dict[str, float]]:
+    """Dict-valued trial outcomes from ``n_trials`` independent repeats."""
+    return [dict(trial(rng)) for rng in spawn_rngs(seed, n_trials)]
+
+
+# ---------------------------------------------------------------------------
+# Executors.
+# ---------------------------------------------------------------------------
+
+def _execute_payload(payload: Tuple[PointFn, TrialJob]) -> List[float]:
+    """Module-level job entry point (must be picklable for process pools)."""
+    point, job = payload
+    return job.execute(point)
+
+
+class SerialExecutor:
+    """Runs jobs one after another in the calling process.
+
+    ``run`` yields each cell's values as soon as that cell finishes, so
+    the caller can persist completed work before a later cell fails.
+    """
+
+    def run(self, payloads: Sequence[Tuple[PointFn, TrialJob]]):
+        for payload in payloads:
+            yield _execute_payload(payload)
+
+
+class ProcessExecutor:
+    """Fans jobs out over a :class:`ProcessPoolExecutor` worker pool.
+
+    Because each job carries its own seed material, results are
+    bit-identical to :class:`SerialExecutor` regardless of worker count,
+    chunking, or scheduling order.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` uses the ``ProcessPoolExecutor`` default
+        (the machine's CPU count).
+    chunksize:
+        Jobs handed to a worker per IPC round-trip.  Raising it
+        amortises pickling overhead when individual cells are cheap.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, chunksize: int = 1):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def run(self, payloads: Sequence[Tuple[PointFn, TrialJob]]):
+        if not payloads:
+            return
+        point = payloads[0][0]
+        try:
+            pickle.dumps(point)
+        except Exception as exc:
+            raise TypeError(
+                "the process executor needs a picklable point function "
+                "(a module-level function, not a closure or lambda); "
+                "use executor='serial' for closure-based points") from exc
+        # Yield results as pool.map streams them (in submission order) so
+        # the caller can cache completed cells before a later one fails;
+        # the pool stays open for exactly as long as the generator runs.
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            yield from pool.map(_execute_payload, payloads,
+                                chunksize=self.chunksize)
+
+
+ExecutorLike = Union[str, SerialExecutor, ProcessExecutor]
+
+
+def get_executor(executor: ExecutorLike = "serial",
+                 max_workers: Optional[int] = None,
+                 chunksize: int = 1) -> Union[SerialExecutor, ProcessExecutor]:
+    """Resolve an executor spec (``"serial"``/``"process"`` or an instance)."""
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialExecutor()
+        if executor == "process":
+            return ProcessExecutor(max_workers=max_workers, chunksize=chunksize)
+        raise ValueError(f"unknown executor {executor!r}; "
+                         "expected 'serial' or 'process'")
+    if hasattr(executor, "run"):
+        return executor
+    raise TypeError(f"executor must be a name or provide .run(), "
+                    f"got {type(executor).__name__!r}")
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache.
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Per-cell trial-value cache keyed by the job digest.
+
+    Each cell is one small JSON file named after the job's digest, which
+    covers the root seed, the cell coordinates, the trial count, and the
+    caller's ``cache_tag`` — so a hit is guaranteed to be the same
+    experiment.  Raw trial values (not summaries) are stored, so cached
+    cells reproduce :class:`TrialStats` bit-for-bit.  Writes are atomic
+    (temp file + rename) to stay safe under concurrent bench runs.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
+
+    def get(self, job: TrialJob) -> Optional[List[float]]:
+        """Cached trial values for ``job``, or ``None`` on a miss."""
+        path = self._path(job.digest)
+        try:
+            with open(path) as fh:
+                values = json.load(fh)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            # Missing, unreadable, or binary-corrupt files are all
+            # misses to recompute, never fatal.
+            self.misses += 1
+            return None
+        try:
+            if not isinstance(values, list) or len(values) != job.n_trials:
+                raise ValueError("wrong shape")
+            values = [float(v) for v in values]
+        except (TypeError, ValueError):
+            # Any malformed payload (wrong length, nulls, strings) is a
+            # miss to recompute, like a missing or unparseable file.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return values
+
+    def put(self, job: TrialJob, values: Sequence[float]) -> None:
+        """Atomically persist the trial values for ``job``."""
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump([float(v) for v in values], fh)
+            os.replace(tmp, self._path(job.digest))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+CacheLike = Union[None, str, Path, ResultCache]
+
+
+def _resolve_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+# ---------------------------------------------------------------------------
+# run_grid — the engine's front door.
+# ---------------------------------------------------------------------------
+
+def run_grid(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
+             series_name: str, series_values: Sequence[object], *,
+             n_trials: int = 5, seed: GridSeed = 0,
+             executor: ExecutorLike = "serial",
+             max_workers: Optional[int] = None, chunksize: int = 1,
+             cache: CacheLike = None, cache_tag: str = "") -> SweepResult:
+    """Evaluate ``point`` over the sweep × series grid with repeats.
+
+    The grid is materialised as :class:`TrialJob` s, cached cells are
+    loaded from ``cache``, and only the missing cells are dispatched to
+    ``executor``.  The result is identical for every executor and for
+    every cache state, because all randomness is fixed by the job seeds.
+
+    Parameters
+    ----------
+    point:
+        ``point(series_value, sweep_value, rng) -> scalar``.  Must be
+        picklable (module-level) for the process executor.
+    executor:
+        ``"serial"``, ``"process"``, or any object whose
+        ``run(payloads)`` returns an iterable of trial-value lists in
+        payload order (streaming generators preserve partial progress).
+    cache:
+        ``None``, a directory path, or a :class:`ResultCache`.
+    cache_tag:
+        Distinguishes different point functions that share a root seed
+        and grid; include it whenever a cache directory is shared.
+    """
+    jobs = build_jobs(sweep_name, sweep_values, series_name, series_values,
+                      n_trials, seed, cache_tag=cache_tag)
+    store = _resolve_cache(cache)
+    values_by_job: Dict[int, List[float]] = {}
+    pending: List[Tuple[int, TrialJob]] = []
+    for index, job in enumerate(jobs):
+        hit = store.get(job) if store is not None else None
+        if hit is not None:
+            values_by_job[index] = hit
+        else:
+            pending.append((index, job))
+    if pending:
+        runner = get_executor(executor, max_workers=max_workers,
+                              chunksize=chunksize)
+        fresh = runner.run([(point, job) for _, job in pending])
+        # Consume as the executor streams: each finished cell is cached
+        # immediately, so an interrupt or a failing later cell never
+        # discards completed work.
+        for (index, job), values in zip(pending, fresh):
+            values_by_job[index] = list(values)
+            if store is not None:
+                store.put(job, values)
+
+    result = SweepResult(sweep_name=sweep_name, series_name=series_name,
+                         sweep_values=list(sweep_values))
+    for index, job in enumerate(jobs):
+        stats = TrialStats.from_values(values_by_job[index])
+        result.series.setdefault(job.series_value, []).append(stats)
+    return result

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from .._validation import check_positive_int
-from ..rng import SeedLike, spawn_rngs
+from ..rng import SeedLike
 
 #: A trial function maps ``rng -> metric value`` (or a dict of metrics).
 TrialFn = Callable[[np.random.Generator], float]
@@ -41,8 +41,18 @@ class TrialStats:
 
     @property
     def stderr(self) -> float:
-        """Standard error of the mean."""
-        return self.std / np.sqrt(self.n_trials)
+        """Standard error of the mean, from the sample standard deviation.
+
+        ``std`` is the population (``ddof=0``) figure for backward
+        compatibility; the standard error uses the unbiased sample
+        estimator (``ddof=1``), i.e. ``std * sqrt(n/(n-1)) / sqrt(n)``
+        which simplifies to ``std / sqrt(n - 1)``.  A single trial
+        carries no spread information, so ``n_trials == 1`` returns 0.0
+        rather than NaN.
+        """
+        if self.n_trials < 2:
+            return 0.0
+        return self.std / np.sqrt(self.n_trials - 1)
 
 
 @dataclass
@@ -65,17 +75,16 @@ class ExperimentRunner:
 
     def run(self, trial: TrialFn) -> TrialStats:
         """Average a scalar-valued trial function across trials."""
-        rngs = spawn_rngs(self.seed, self.n_trials)
-        values = [float(trial(rng)) for rng in rngs]
-        return TrialStats.from_values(values)
+        from .engine import run_trial_values
+        return TrialStats.from_values(
+            run_trial_values(trial, self.n_trials, self.seed))
 
     def run_multi(self, trial: Callable[[np.random.Generator], Dict[str, float]]
                   ) -> Dict[str, TrialStats]:
         """Average a dict-valued trial function, key by key."""
-        rngs = spawn_rngs(self.seed, self.n_trials)
+        from .engine import run_trial_outcomes
         collected: Dict[str, List[float]] = {}
-        for rng in rngs:
-            outcome = trial(rng)
+        for outcome in run_trial_outcomes(trial, self.n_trials, self.seed):
             for key, value in outcome.items():
                 collected.setdefault(key, []).append(float(value))
         return {key: TrialStats.from_values(vals) for key, vals in collected.items()}

@@ -5,17 +5,21 @@ curve per value of a second variable".  :func:`sweep` captures exactly
 that: it evaluates a point function on the product of the sweep values
 and the series values and returns a :class:`SweepResult` whose
 ``format_table`` output is what the benches print.
+
+:func:`sweep` is a thin wrapper over :mod:`repro.evaluation.engine`,
+which owns seeding (stable digests of the cell coordinates — never the
+process-salted builtin ``hash``), parallel execution, and caching.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..rng import SeedLike
-from .runner import ExperimentRunner, TrialStats
+from ..rng import GridSeed
+from .runner import TrialStats
 
 #: point(series_value, sweep_value, rng) -> scalar error.
 PointFn = Callable[[object, object, np.random.Generator], float]
@@ -67,32 +71,42 @@ class SweepResult:
         """Whether the mean curve decreases from first to last x (with slack).
 
         The benches' shape checks use end-point comparison rather than
-        full monotonicity because individual DP runs are noisy.
+        full monotonicity because individual DP runs are noisy.  The
+        allowance is ``slack * |curve[0]|`` for a meaningfully nonzero
+        start and plain ``slack`` (an absolute allowance) when the start
+        is zero up to floating dust (|start| < 1e-9), so a zero or
+        negative baseline still gets headroom instead of a silently
+        tighter — or inverted — check.
         """
         curve = self.means(series_value)
-        return bool(curve[-1] <= curve[0] * (1.0 + slack) - 0.0)
+        start, end = float(curve[0]), float(curve[-1])
+        base = abs(start)
+        allowance = slack * base if base >= 1e-9 else slack
+        return bool(end <= start + allowance)
 
 
 def sweep(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
           series_name: str, series_values: Sequence[object],
-          n_trials: int = 5, seed: SeedLike = 0) -> SweepResult:
+          n_trials: int = 5, seed: GridSeed = 0, *,
+          executor: object = "serial", max_workers: Optional[int] = None,
+          chunksize: int = 1, cache: object = None,
+          cache_tag: str = "") -> SweepResult:
     """Evaluate ``point`` over the sweep × series grid with repeats.
 
-    Seeds are derived per grid cell so that (a) every cell is independent
-    and (b) rerunning a sweep with the same root seed is reproducible.
+    Seeds are derived per grid cell from a stable digest of the cell
+    coordinates plus the root seed, so that (a) every cell is independent
+    and (b) rerunning a sweep with the same root seed is reproducible —
+    including across processes with different ``PYTHONHASHSEED``.
+    ``seed`` must be an ``int`` or a :class:`numpy.random.SeedSequence`;
+    other types raise :class:`TypeError` rather than being silently
+    replaced.
+
+    The keyword-only arguments are forwarded to
+    :func:`repro.evaluation.engine.run_grid`; the defaults reproduce the
+    historical serial, uncached behaviour.
     """
-    result = SweepResult(sweep_name=sweep_name, series_name=series_name,
-                         sweep_values=list(sweep_values))
-    for series_value in series_values:
-        stats_list: List[TrialStats] = []
-        for i, sweep_value in enumerate(sweep_values):
-            cell_seed = np.random.SeedSequence(
-                entropy=seed if isinstance(seed, int) else 0,
-                spawn_key=(hash(str(series_value)) & 0xFFFF, i),
-            )
-            runner = ExperimentRunner(n_trials=n_trials, seed=cell_seed)
-            stats_list.append(
-                runner.run(lambda rng, sv=series_value, xv=sweep_value: point(sv, xv, rng))
-            )
-        result.series[series_value] = stats_list
-    return result
+    from .engine import run_grid
+    return run_grid(point, sweep_name, sweep_values, series_name,
+                    series_values, n_trials=n_trials, seed=seed,
+                    executor=executor, max_workers=max_workers,
+                    chunksize=chunksize, cache=cache, cache_tag=cache_tag)

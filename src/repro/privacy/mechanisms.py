@@ -19,6 +19,7 @@ All mechanisms are stateless value objects; sampling takes an explicit
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -71,8 +72,11 @@ class GaussianMechanism:
     """(ε, δ)-DP additive Gaussian noise for an ℓ2-sensitivity-bounded query.
 
     Uses the classical calibration
-    ``sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon`` which is
-    valid for ``epsilon <= 1`` and conservative above.
+    ``sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon``.  The
+    calibration theorem only guarantees ``(eps, delta)``-DP for
+    ``epsilon <= 1``; constructing the mechanism with a larger ε keeps
+    the same (now merely heuristic) noise scale but emits a
+    :class:`UserWarning` so the regime change cannot pass silently.
     """
 
     epsilon: float
@@ -85,6 +89,13 @@ class GaussianMechanism:
         check_positive(self.sensitivity, "sensitivity")
         if self.delta >= 1:
             raise ValueError(f"delta must be < 1, got {self.delta}")
+        if self.epsilon > 1:
+            warnings.warn(
+                f"GaussianMechanism calibration is only proven for "
+                f"epsilon <= 1; got epsilon={self.epsilon}. The classical "
+                f"sigma formula is used as-is, which may under-noise in "
+                f"this regime (consider composing epsilon<=1 invocations).",
+                UserWarning, stacklevel=3)
 
     @property
     def sigma(self) -> float:
@@ -147,11 +158,26 @@ class ExponentialMechanism:
         scores = np.asarray(scores, dtype=float)
         if scores.ndim != 1 or scores.size == 0:
             raise ValueError(f"scores must be a non-empty 1-D array, got shape {scores.shape}")
+        # A non-finite score — or a finite one whose scaled logit
+        # overflows — admits no exponential-mechanism distribution;
+        # sampling anything (e.g. a deterministic argmax) would silently
+        # void the privacy guarantee, on either sampler.
+        with np.errstate(over="ignore"):
+            logits = scores * (self.epsilon / (2.0 * self.sensitivity))
+        if not np.all(np.isfinite(logits)):
+            raise ValueError(
+                "scores must be finite and their logits representable; "
+                "got non-finite entries after scaling by eps/(2*sensitivity)")
         if self.method == "gumbel":
-            noisy = scores * (self.epsilon / (2.0 * self.sensitivity))
-            noisy = noisy + rng.gumbel(loc=0.0, scale=1.0, size=scores.shape)
+            noisy = logits + rng.gumbel(loc=0.0, scale=1.0, size=scores.shape)
             return int(np.argmax(noisy))
         probs = self.probabilities(scores)
+        # Defensive renormalisation: with widely separated logits the
+        # exponentiated probabilities can sum to slightly off 1.0 after
+        # floating-point rounding, and rng.choice raises on any such
+        # drift.  (Finite scores guarantee a strictly positive total:
+        # the largest logit always contributes exp(0) = 1.)
+        probs = probs / probs.sum()
         return int(rng.choice(scores.size, p=probs))
 
 

@@ -14,6 +14,12 @@ import numpy as np
 
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
+#: Root seeds the experiment engine accepts: these are the forms that can
+#: be re-stated exactly in a fresh process, which the engine's
+#: reproducibility and cache-key guarantees require.  (``None`` and
+#: ``Generator`` are deliberately excluded and raise ``TypeError``.)
+GridSeed = Union[int, np.random.SeedSequence]
+
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for any accepted seed form.

@@ -76,7 +76,18 @@ class TestRunner:
         assert stats.mean == 2.0
         assert stats.minimum == 1.0 and stats.maximum == 3.0
         assert stats.n_trials == 3
-        assert stats.stderr == pytest.approx(stats.std / np.sqrt(3))
+
+    def test_stderr_uses_sample_std(self):
+        values = [1.0, 2.0, 3.0, 6.0]
+        stats = TrialStats.from_values(values)
+        sample_std = np.std(values, ddof=1)
+        assert stats.stderr == pytest.approx(sample_std / np.sqrt(len(values)))
+        # Equivalent closed form from the stored population std.
+        assert stats.stderr == pytest.approx(stats.std / np.sqrt(len(values) - 1))
+
+    def test_stderr_single_trial_is_zero(self):
+        stats = TrialStats.from_values([4.2])
+        assert stats.stderr == 0.0
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -117,6 +128,38 @@ class TestSweep:
         result = sweep(lambda series, x, rng: float(x),
                        "n", [1, 2], "d", [1], n_trials=1, seed=0)
         assert not result.is_decreasing(1)
+
+    def test_is_decreasing_relative_slack(self):
+        # Curve rises 1.0 -> 1.1: a 10% rise, forgiven by slack >= 0.1.
+        result = sweep(lambda series, x, rng: 1.0 + 0.1 * (x - 1),
+                       "n", [1, 2], "d", [1], n_trials=1, seed=0)
+        assert not result.is_decreasing(1)
+        assert not result.is_decreasing(1, slack=0.05)
+        assert result.is_decreasing(1, slack=0.11)
+
+    def test_is_decreasing_zero_baseline_uses_absolute_slack(self):
+        # Starting at exactly 0.0, multiplicative slack would grant no
+        # allowance at all; slack must act as an absolute tolerance.
+        result = sweep(lambda series, x, rng: 0.0 if x == 1 else 0.05,
+                       "n", [1, 2], "d", [1], n_trials=1, seed=0)
+        assert not result.is_decreasing(1)
+        assert result.is_decreasing(1, slack=0.06)
+
+    def test_is_decreasing_dust_baseline_treated_as_zero(self):
+        # A baseline that is zero up to floating dust must behave like
+        # the exact-zero case, not get a ~1e-17-sized allowance.
+        result = sweep(lambda series, x, rng: 5e-17 if x == 1 else 0.05,
+                       "n", [1, 2], "d", [1], n_trials=1, seed=0)
+        assert not result.is_decreasing(1)
+        assert result.is_decreasing(1, slack=0.06)
+
+    def test_is_decreasing_negative_baseline(self):
+        # A negative start must still get a positive allowance (the old
+        # multiplicative form *tightened* the check below zero).
+        result = sweep(lambda series, x, rng: -1.0 if x == 1 else -0.95,
+                       "n", [1, 2], "d", [1], n_trials=1, seed=0)
+        assert not result.is_decreasing(1)
+        assert result.is_decreasing(1, slack=0.1)
 
     def test_format_table_contains_values(self):
         result = sweep(lambda series, x, rng: 0.5,

@@ -15,7 +15,8 @@ EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 #: Examples cheap enough to execute inside the unit-test suite.
-FAST_EXAMPLES = ["privacy_accounting.py", "robust_mean_comparison.py"]
+FAST_EXAMPLES = ["parallel_sweep.py", "privacy_accounting.py",
+                 "robust_mean_comparison.py"]
 
 
 def test_examples_exist():

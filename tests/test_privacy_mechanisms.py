@@ -54,6 +54,18 @@ class TestGaussianMechanism:
         b = GaussianMechanism(1.0, 1e-5, 1.0).budget
         assert b.epsilon == 1.0 and b.delta == 1e-5
 
+    def test_warns_above_unit_epsilon(self):
+        with pytest.warns(UserWarning, match="epsilon <= 1"):
+            GaussianMechanism(epsilon=2.0, delta=1e-5, sensitivity=1.0)
+
+    def test_no_warning_at_or_below_unit_epsilon(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=1.0)
+            GaussianMechanism(epsilon=0.5, delta=1e-5, sensitivity=1.0)
+
     def test_invalid_delta(self):
         with pytest.raises(ValueError):
             GaussianMechanism(epsilon=1.0, delta=0.0, sensitivity=1.0)
@@ -79,6 +91,41 @@ class TestExponentialMechanism:
         p = mech.probabilities(np.array([0.0, 1e6, -1e6]))
         assert np.all(np.isfinite(p))
         assert p.sum() == pytest.approx(1.0)
+
+    def test_softmax_select_survives_widely_separated_scores(self, rng):
+        """Rounding in exp/normalisation must not crash ``rng.choice``.
+
+        With widely separated logits the probability vector collapses to
+        a single surviving mass (plus rounding dust); the softmax path
+        renormalises defensively instead of raising ``ValueError:
+        probabilities do not sum to 1``.
+        """
+        mech = ExponentialMechanism(epsilon=4.0, sensitivity=1e-9,
+                                    method="softmax")
+        scores = np.array([-1e12, 0.0, 1e12, 3.0, -7.5])
+        for _ in range(50):
+            assert mech.select(scores, rng=rng) == 2
+
+    @pytest.mark.parametrize("method", ["softmax", "gumbel"])
+    def test_select_rejects_logit_overflow(self, method, rng):
+        # Finite scores can still overflow once scaled by
+        # eps/(2*sensitivity); both samplers must refuse rather than
+        # degrade to a deterministic argmax.
+        mech = ExponentialMechanism(epsilon=4.0, sensitivity=1e-9,
+                                    method=method)
+        with pytest.raises(ValueError, match="finite"):
+            mech.select(np.array([1e300, 0.0]), rng=rng)
+
+    @pytest.mark.parametrize("method", ["softmax", "gumbel"])
+    @pytest.mark.parametrize("bad", [np.inf, -np.inf, np.nan])
+    def test_select_rejects_degenerate_scores(self, method, bad, rng):
+        # A non-finite score admits no exponential-mechanism distribution;
+        # silently returning a deterministic argmax would void the
+        # privacy guarantee, so both samplers must raise.
+        mech = ExponentialMechanism(epsilon=1.0, sensitivity=1.0,
+                                    method=method)
+        with pytest.raises(ValueError, match="finite"):
+            mech.select(np.array([0.0, bad, -1.0]), rng=rng)
 
     @pytest.mark.parametrize("method", ["softmax", "gumbel"])
     def test_empirical_distribution_matches(self, method, rng):
