@@ -10,6 +10,11 @@ The paper's sizes (n up to 9e4 per point, 20 trials) would take hours;
 the ``SCALE`` constants below keep the full bench suite in minutes while
 preserving every trend.  Set the environment variable
 ``REPRO_BENCH_FULL=1`` to run closer to paper scale.
+
+Each bench's point function lives in ``_scenarios.py`` as a picklable
+scenario dataclass; the test files only assemble scenarios, run
+:func:`run_sweep`, and assert figure shapes.  See ``docs/engine.md``
+for the engine architecture and the executor/cache environment knobs.
 """
 
 from __future__ import annotations
@@ -23,75 +28,27 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from repro.evaluation import format_series_table, run_grid, shape_summary
-from repro.evaluation.engine import canonical_token, stable_repr
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
 #: Trials per sweep point (the paper uses >= 20).
 N_TRIALS = 10 if FULL else 3
 
-#: Executor for the sweep grids: "serial" (default) or "process".  The
-#: figure points below are closures, which the process executor cannot
-#: pickle — "process" is only usable with module-level point functions.
+#: Executor for the sweep grids: "serial" (default), "thread", or
+#: "process".  Every figure/ablation point is a picklable scenario
+#: dataclass (see ``_scenarios.py``), so both parallel executors fan the
+#: grid cells out for real — "process" across worker processes,
+#: "thread" across an in-process pool for the BLAS-dominated points
+#: that release the GIL.  All three are bit-identical.
 EXECUTOR = os.environ.get("REPRO_BENCH_EXECUTOR", "serial")
 
 #: Optional on-disk cell cache; rerunning a bench recomputes only the
-#: cells missing from this directory.
+#: cells missing from this directory.  Keys include each scenario's
+#: code fingerprint, so editing a point's code (or its fields)
+#: invalidates exactly the cells it produced.
 CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def _describe_value(value, depth: int = 0, seen=None) -> str:
-    """Stable description of a closure cell for cache keying.
-
-    Captured functions are described by qualname *plus a recursive
-    description of their own closures* — panels built by a shared
-    factory often differ only through state buried one closure level
-    down (e.g. a `make` helper capturing the figure's DistributionSpec).
-    Memory addresses are stripped from reprs so descriptions are stable
-    across processes.  Depth/cycle limits keep the walk bounded.  Best
-    effort, not a proof: state that reprs don't expose (default-repr
-    objects, exotic callables) is invisible here, so panels relying on
-    such state must pass distinct root seeds — as every current bench
-    does — or disable the shared cache.
-    """
-    if seen is None:
-        seen = set()
-    if depth > 4 or id(value) in seen:
-        return "<deep>"
-    if callable(value) and hasattr(value, "__qualname__"):
-        seen.add(id(value))
-        cells = getattr(value, "__closure__", None) or ()
-        parts = [_describe_value(c.cell_contents, depth + 1, seen)
-                 for c in cells]
-        # A bound method's state lives on __self__, not in a closure.
-        bound_self = getattr(value, "__self__", None)
-        if bound_self is not None:
-            parts.append("self=" + _describe_value(bound_self, depth + 1, seen))
-        return (f"fn:{getattr(value, '__module__', '')}"
-                f".{value.__qualname__}({';'.join(parts)})")
-    # Leaves reuse the engine's canonical encoding (process-stable, sorts
-    # sets, digests arrays); its strict rejection of default-repr objects
-    # falls back to a stripped repr here — tags only gate cache *hits*.
-    try:
-        return canonical_token(value)
-    except Exception:
-        try:
-            return stable_repr(value)
-        except Exception:
-            return "<unrepresentable>"
-
-
-def _cache_tag(point) -> str:
-    """Cache tag for a point function: identity plus captured state.
-
-    The qualname alone is not enough — several benches build their
-    points from a shared factory (same ``<locals>.point`` qualname) and
-    differ only in closed-over values, possibly nested — so the tag is
-    the recursive closure description.
-    """
-    return _describe_value(point)
 
 
 def run_sweep(point: Callable[[object, object, np.random.Generator], float],
@@ -101,12 +58,14 @@ def run_sweep(point: Callable[[object, object, np.random.Generator], float],
     """Average ``point(series, x, rng)`` over trials for each grid cell.
 
     A thin wrapper over :func:`repro.evaluation.run_grid`, so the bench
-    grids get the engine's stable cross-process seeding, optional
-    parallel fan-out (``REPRO_BENCH_EXECUTOR``) and cell caching
-    (``REPRO_BENCH_CACHE``) for free.  Closure-based points (all the
-    current figure panels) cannot cross a process boundary; they fall
-    back to the serial executor with a warning rather than failing the
-    bench.
+    grids get the engine's stable cross-process seeding, parallel
+    fan-out (``REPRO_BENCH_EXECUTOR``) and code-aware cell caching
+    (``REPRO_BENCH_CACHE``) for free.  ``point`` is normally one of the
+    ``_scenarios.py`` dataclasses — picklable, so the process executor
+    genuinely fans out, and fingerprinted, so the engine's cache keys
+    see its code.  An ad-hoc closure still works: it runs on the serial
+    (or thread) executor, and under ``process`` it falls back to serial
+    with a warning rather than failing the bench.
     """
     executor = EXECUTOR
     if executor == "process":
@@ -116,10 +75,9 @@ def run_sweep(point: Callable[[object, object, np.random.Generator], float],
             warnings.warn(f"point {point!r} is not picklable; "
                           "falling back to the serial executor")
             executor = "serial"
-    tag = _cache_tag(point)
     result = run_grid(point, "x", sweep_values, "series", series_values,
                       n_trials=n_trials, seed=seed, executor=executor,
-                      cache=CACHE_DIR, cache_tag=tag)
+                      cache=CACHE_DIR)
     return {series: [stat.mean for stat in result.series[series]]
             for series in series_values}
 

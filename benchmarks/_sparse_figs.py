@@ -6,12 +6,14 @@ Every one of these figures has the same three panels:
 (c) error vs s*, one curve per dimension (ε = 1, n fixed).
 
 The error metric is the excess empirical risk against the planted
-``w*``, exactly as the paper evaluates its sparse experiments.
+``w*``, exactly as the paper evaluates its sparse experiments.  The
+point functions are the :class:`_scenarios.SparseLinearPanel` and
+:class:`_scenarios.SparseLogisticPanel` dataclasses, so every panel is
+picklable (parallel executors fan out) and code-fingerprinted (the cell
+cache invalidates when panel code changes).
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from _common import (
     FULL,
@@ -21,15 +23,8 @@ from _common import (
     emit_table,
     run_sweep,
 )
-from repro import (
-    DistributionSpec,
-    HeavyTailedSparseLinearRegression,
-    HeavyTailedSparseOptimizer,
-    SquaredLoss,
-    make_linear_data,
-    make_logistic_data,
-    sparse_truth,
-)
+from _scenarios import SparseLinearPanel, SparseLogisticPanel
+from repro import DistributionSpec
 
 D_SERIES = [500, 1000, 2000] if FULL else [50, 150]
 EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
@@ -47,30 +42,13 @@ def linear_sparse_panels(fig_name: str, noise_spec: DistributionSpec,
     log-logistic c=0.1), where the empirical risk itself is dominated by
     a handful of astronomically large noise draws.
     """
-    loss = SquaredLoss()
     n_fixed = 50_000 if FULL else 16_000
     n_sweep = [20_000, 50_000, 100_000] if FULL else [8000, 16_000, 32_000]
     s_fixed = 20 if FULL else 5
 
-    def make(n, d, s_star, rng):
-        w_star = sparse_truth(d, s_star, rng, norm_bound=0.5)
-        return make_linear_data(n, w_star, feature_spec, noise_spec, rng=rng)
-
-    def excess(w, data):
-        if metric == "param_error":
-            return float(np.linalg.norm(w - data.w_star))
-        return (loss.value(w, data.features, data.labels)
-                - loss.value(data.w_star, data.features, data.labels))
-
-    def fit(data, eps, s_star, rng):
-        solver = HeavyTailedSparseLinearRegression(
-            sparsity=s_star, epsilon=eps, delta=1e-5)
-        return solver.fit(data.features, data.labels, rng=rng).w
-
-    def point_a(d, eps, rng):
-        data = make(n_fixed, d, s_fixed, rng)
-        return excess(fit(data, eps, s_fixed, rng), data)
-
+    point_a = SparseLinearPanel(features=feature_spec, noise=noise_spec,
+                                sweep="epsilon", metric=metric,
+                                n_fixed=n_fixed, s_fixed=s_fixed)
     panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=seed)
     emit_table(fig_name, f"{fig_name}(a): excess risk vs eps "
                f"(n={n_fixed}, s*={s_fixed})", "epsilon", EPS_SWEEP, panel_a)
@@ -78,20 +56,18 @@ def linear_sparse_panels(fig_name: str, noise_spec: DistributionSpec,
     assert_trending_down(panel_a, slack=0.5)
     assert_dimension_insensitive(panel_a, factor=6.0)
 
-    def point_b(d, n, rng):
-        data = make(n, d, s_fixed, rng)
-        return excess(fit(data, 1.0, s_fixed, rng), data)
-
+    point_b = SparseLinearPanel(features=feature_spec, noise=noise_spec,
+                                sweep="n", metric=metric,
+                                s_fixed=s_fixed, eps_fixed=1.0)
     panel_b = run_sweep(point_b, n_sweep, D_SERIES, seed=seed + 1)
     emit_table(fig_name, f"{fig_name}(b): excess risk vs n (eps=1)",
                "n", n_sweep, panel_b)
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    def point_c(d, s_star, rng):
-        data = make(n_fixed, d, s_star, rng)
-        return excess(fit(data, 1.0, s_star, rng), data)
-
+    point_c = SparseLinearPanel(features=feature_spec, noise=noise_spec,
+                                sweep="s_star", metric=metric,
+                                n_fixed=n_fixed, eps_fixed=1.0)
     panel_c = run_sweep(point_c, S_STAR_SWEEP, D_SERIES, seed=seed + 2)
     emit_table(fig_name, f"{fig_name}(c): excess risk vs s* (eps=1)",
                "s*", S_STAR_SWEEP, panel_c)
@@ -103,45 +79,37 @@ def linear_sparse_panels(fig_name: str, noise_spec: DistributionSpec,
 
 def logistic_sparse_panels(fig_name: str, feature_spec: DistributionSpec,
                            noise_spec: DistributionSpec, seed: int,
-                           loss_factory, tau: float) -> None:
+                           tau: float, l2_penalty: float = 0.01) -> None:
     """Run and emit the three Algorithm 5 panels for one data law."""
     n_fixed = 8000 if FULL else 6000
     n_sweep = [8000, 16_000, 32_000] if FULL else [4000, 8000, 16_000]
     s_fixed = 20 if FULL else 5
 
-    def make(n, d, s_star, rng):
-        w_star = sparse_truth(d, s_star, rng, norm_bound=0.5)
-        return make_logistic_data(n, w_star, feature_spec, noise_spec, rng=rng)
-
-    def excess(loss, w, data):
-        return (loss.value(w, data.features, data.labels)
-                - loss.value(data.w_star, data.features, data.labels))
-
-    def point(eps, n, d, s_star, rng):
-        data = make(n, d, s_star, rng)
-        loss = loss_factory()
-        solver = HeavyTailedSparseOptimizer(loss, sparsity=s_star, epsilon=eps,
-                                            delta=1e-5, tau=tau)
-        w = solver.fit(data.features, data.labels, rng=rng).w
-        return excess(loss, w, data)
-
-    panel_a = run_sweep(lambda d, eps, rng: point(eps, n_fixed, d, s_fixed, rng),
-                        EPS_SWEEP, D_SERIES, seed=seed)
+    point_a = SparseLogisticPanel(features=feature_spec, noise=noise_spec,
+                                  sweep="epsilon", tau=tau,
+                                  l2_penalty=l2_penalty,
+                                  n_fixed=n_fixed, s_fixed=s_fixed)
+    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=seed)
     emit_table(fig_name, f"{fig_name}(a): excess risk vs eps "
                f"(n={n_fixed}, s*={s_fixed})", "epsilon", EPS_SWEEP, panel_a)
     assert_finite(panel_a)
     assert_trending_down(panel_a, slack=0.5)
     assert_dimension_insensitive(panel_a, factor=6.0)
 
-    panel_b = run_sweep(lambda d, n, rng: point(1.0, n, d, s_fixed, rng),
-                        n_sweep, D_SERIES, seed=seed + 1)
+    point_b = SparseLogisticPanel(features=feature_spec, noise=noise_spec,
+                                  sweep="n", tau=tau, l2_penalty=l2_penalty,
+                                  s_fixed=s_fixed, eps_fixed=1.0)
+    panel_b = run_sweep(point_b, n_sweep, D_SERIES, seed=seed + 1)
     emit_table(fig_name, f"{fig_name}(b): excess risk vs n (eps=1)",
                "n", n_sweep, panel_b)
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    panel_c = run_sweep(lambda d, s, rng: point(1.0, n_fixed, d, s, rng),
-                        S_STAR_SWEEP, D_SERIES, seed=seed + 2)
+    point_c = SparseLogisticPanel(features=feature_spec, noise=noise_spec,
+                                  sweep="s_star", tau=tau,
+                                  l2_penalty=l2_penalty,
+                                  n_fixed=n_fixed, eps_fixed=1.0)
+    panel_c = run_sweep(point_c, S_STAR_SWEEP, D_SERIES, seed=seed + 2)
     emit_table(fig_name, f"{fig_name}(c): excess risk vs s* (eps=1)",
                "s*", S_STAR_SWEEP, panel_c)
     assert_finite(panel_c)

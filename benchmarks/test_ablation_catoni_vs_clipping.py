@@ -10,16 +10,8 @@ on heavy-tailed log-normal linear regression.
 import numpy as np
 
 from _common import FULL, assert_finite, emit_table, run_sweep
-from repro import (
-    DistributionSpec,
-    HeavyTailedDPFW,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
-)
-from repro.baselines import DPSGD, RegularDPFrankWolfe
-from repro.geometry import project_l1_ball
+from _scenarios import CatoniVsClippingAblation, _l1_linear_data
+from repro import DistributionSpec, HeavyTailedDPFW, L1Ball, SquaredLoss
 
 LOSS = SquaredLoss()
 FEATURES = DistributionSpec("lognormal", {"sigma": 0.8})  # heavier than Fig 1
@@ -29,17 +21,9 @@ N_SWEEP = [20_000, 60_000] if FULL else [4000, 12_000]
 DELTA = 1e-5
 
 
-def _make(n, rng):
-    return make_linear_data(n, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
-
-
-def _excess(w, data):
-    return (LOSS.value(w, data.features, data.labels)
-            - LOSS.value(data.w_star, data.features, data.labels))
-
-
 def test_ablation_catoni_vs_clipping(benchmark):
-    data0 = _make(N_SWEEP[0], np.random.default_rng(0))
+    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+                            np.random.default_rng(0))
     solver0 = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0)
     benchmark.pedantic(
         lambda: solver0.fit(data0.features, data0.labels,
@@ -47,23 +31,8 @@ def test_ablation_catoni_vs_clipping(benchmark):
         rounds=1, iterations=1,
     )
 
-    def point(method, n, rng):
-        data = _make(n, rng)
-        if method == "catoni-dpfw":
-            w = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0).fit(
-                data.features, data.labels, rng=rng).w
-        elif method == "clipped-dpfw":
-            w = RegularDPFrankWolfe(LOSS, L1Ball(D), epsilon=1.0, delta=DELTA,
-                                    lipschitz_bound=5.0,
-                                    n_iterations=20).fit(
-                data.features, data.labels, rng=rng).w
-        else:  # dp-sgd
-            w = DPSGD(LOSS, epsilon=1.0, delta=DELTA, clip_norm=5.0,
-                      learning_rate=0.05, n_iterations=30,
-                      projection=lambda v: project_l1_ball(v, 1.0)).fit(
-                data.features, data.labels, rng=rng).w
-        return _excess(w, data)
-
+    point = CatoniVsClippingAblation(features=FEATURES, noise=NOISE, d=D,
+                                     delta=DELTA)
     table = run_sweep(point, N_SWEEP,
                       ["catoni-dpfw", "clipped-dpfw", "dp-sgd"], seed=200)
     emit_table("ablation_catoni_vs_clipping",

@@ -9,7 +9,8 @@ the paper's high-dimensional design.
 import numpy as np
 
 from _common import FULL, assert_finite, emit_table, run_sweep
-from repro.core import dense_laplace_release, peeling
+from _scenarios import PeelingVsDenseAblation
+from repro.core import peeling
 from repro.estimators import CatoniEstimator, optimal_scale
 
 N = 20_000 if FULL else 5000
@@ -40,18 +41,7 @@ def test_ablation_peeling_vs_dense(benchmark):
 
     benchmark.pedantic(one_peel, rounds=1, iterations=1)
 
-    def point(method, d, rng):
-        mean, x = _population(d, rng)
-        est = CatoniEstimator(scale=optimal_scale(N, 2.0, 0.05))
-        robust = est.estimate_columns(x)
-        sens = est.sensitivity(N)
-        if method == "peeling":
-            out = peeling(robust, S, 1.0, 1e-5, sens, rng=rng).vector
-        else:
-            out = dense_laplace_release(robust, S, 1.0, 1e-5, sens,
-                                        rng=rng).vector
-        return float(np.sum((out - mean) ** 2))
-
+    point = PeelingVsDenseAblation(n=N, s=S)
     table = run_sweep(point, D_SWEEP, ["peeling", "dense-laplace"], seed=220)
     emit_table("ablation_peeling",
                "Ablation: sparse mean sq. error, Peeling vs dense release",

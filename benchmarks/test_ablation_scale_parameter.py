@@ -9,14 +9,8 @@ check the theory value sits near the bottom of the U-shape.
 import numpy as np
 
 from _common import FULL, assert_finite, emit_table, run_sweep
-from repro import (
-    DistributionSpec,
-    HeavyTailedDPFW,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
-)
+from _scenarios import ScaleParameterAblation, _l1_linear_data
+from repro import DistributionSpec, HeavyTailedDPFW, L1Ball, SquaredLoss
 
 LOSS = SquaredLoss()
 FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
@@ -26,28 +20,18 @@ N = 20_000 if FULL else 8000
 MULTIPLIERS = [0.02, 0.2, 1.0, 5.0, 50.0]
 
 
-def _make(rng):
-    return make_linear_data(N, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
-
-
 def test_ablation_scale_parameter(benchmark):
     base = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0)
     theory_scale = base.resolve_schedule(N).scale
-    data0 = _make(np.random.default_rng(0))
+    data0 = _l1_linear_data(N, D, FEATURES, NOISE, np.random.default_rng(0))
     benchmark.pedantic(
         lambda: base.fit(data0.features, data0.labels,
                          rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    def point(_, multiplier, rng):
-        data = _make(rng)
-        solver = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0,
-                                 scale=theory_scale * multiplier)
-        res = solver.fit(data.features, data.labels, rng=rng)
-        return (LOSS.value(res.w, data.features, data.labels)
-                - LOSS.value(data.w_star, data.features, data.labels))
-
+    point = ScaleParameterAblation(features=FEATURES, noise=NOISE, d=D, n=N,
+                                   theory_scale=theory_scale)
     table = run_sweep(point, MULTIPLIERS, ["excess_risk"], seed=210)
     emit_table("ablation_scale",
                f"Ablation: excess risk vs scale multiplier "

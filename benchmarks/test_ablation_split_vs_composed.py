@@ -9,24 +9,16 @@ composition sees all ``n`` but at per-step budget
 ``eps / (2 sqrt(2 T log(1/delta)))``.
 """
 
-import math
-
 import numpy as np
 
 from _common import FULL, assert_finite, emit_table, run_sweep
-from repro import (
-    DistributionSpec,
-    HeavyTailedDPFW,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
+from _scenarios import (
+    SplitVsComposedAblation,
+    _composed_catoni_dpfw,
+    _l1_linear_data,
 )
-from repro.core import classic_fw_steps
-from repro.estimators import CatoniEstimator
-from repro.privacy import ExponentialMechanism
+from repro import DistributionSpec
 
-LOSS = SquaredLoss()
 FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
 NOISE = DistributionSpec("gaussian", {"scale": 0.1})
 D = 40
@@ -34,48 +26,17 @@ N_SWEEP = [20_000, 60_000] if FULL else [4000, 12_000]
 DELTA = 1e-5
 
 
-def _make(n, rng):
-    return make_linear_data(n, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
-
-
-def _composed_catoni_dpfw(data, epsilon, rng):
-    """Full-batch Catoni DP-FW under advanced composition (ε, δ)-DP."""
-    n = data.n_samples
-    solver = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=epsilon, tau=5.0)
-    schedule = solver.resolve_schedule(n)
-    T = schedule.n_iterations
-    catoni = CatoniEstimator(scale=schedule.scale, beta=schedule.beta)
-    ball = L1Ball(D)
-    eps_step = epsilon / (2.0 * math.sqrt(2.0 * T * math.log(1.0 / DELTA)))
-    sensitivity = ball.l1_diameter() * catoni.sensitivity(n)
-    mechanism = ExponentialMechanism(epsilon=eps_step, sensitivity=sensitivity)
-    steps = classic_fw_steps(T)
-    w = ball.initial_point()
-    for t in range(T):
-        grads = LOSS.per_sample_gradients(w, data.features, data.labels)
-        g_tilde = catoni.estimate_columns(grads)
-        index = mechanism.select(ball.vertex_scores(g_tilde), rng=rng)
-        w = (1.0 - steps[t]) * w + steps[t] * ball.vertex(index)
-    return w
-
-
 def test_ablation_split_vs_composed(benchmark):
-    data0 = _make(N_SWEEP[0], np.random.default_rng(0))
+    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+                            np.random.default_rng(0))
     benchmark.pedantic(
-        lambda: _composed_catoni_dpfw(data0, 1.0, np.random.default_rng(1)),
+        lambda: _composed_catoni_dpfw(data0, 1.0, D, DELTA,
+                                      np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    def point(method, n, rng):
-        data = _make(n, rng)
-        if method == "split (paper, eps-DP)":
-            w = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0).fit(
-                data.features, data.labels, rng=rng).w
-        else:
-            w = _composed_catoni_dpfw(data, 1.0, rng)
-        return (LOSS.value(w, data.features, data.labels)
-                - LOSS.value(data.w_star, data.features, data.labels))
-
+    point = SplitVsComposedAblation(features=FEATURES, noise=NOISE, d=D,
+                                    delta=DELTA)
     table = run_sweep(point, N_SWEEP,
                       ["split (paper, eps-DP)", "composed ((eps,delta)-DP)"],
                       seed=230)

@@ -10,16 +10,9 @@ larger threshold.
 import numpy as np
 
 from _common import FULL, assert_finite, emit_table, run_sweep
-from repro import (
-    DistributionSpec,
-    HeavyTailedPrivateLasso,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
-)
+from _scenarios import TruncationThresholdAblation, _l1_linear_data
+from repro import DistributionSpec, HeavyTailedPrivateLasso, L1Ball
 
-LOSS = SquaredLoss()
 FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
 NOISE = DistributionSpec("gaussian", {"scale": 0.1})
 D = 40
@@ -27,28 +20,18 @@ N = 30_000 if FULL else 12_000
 MULTIPLIERS = [0.05, 0.3, 1.0, 3.0, 20.0]
 
 
-def _make(rng):
-    return make_linear_data(N, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
-
-
 def test_ablation_truncation_threshold(benchmark):
     base = HeavyTailedPrivateLasso(L1Ball(D), epsilon=1.0, delta=1e-5)
     K_theory = base.resolve_schedule(N).threshold
-    data0 = _make(np.random.default_rng(0))
+    data0 = _l1_linear_data(N, D, FEATURES, NOISE, np.random.default_rng(0))
     benchmark.pedantic(
         lambda: base.fit(data0.features, data0.labels,
                          rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    def point(_, multiplier, rng):
-        data = _make(rng)
-        solver = HeavyTailedPrivateLasso(L1Ball(D), epsilon=1.0, delta=1e-5,
-                                         threshold=K_theory * multiplier)
-        res = solver.fit(data.features, data.labels, rng=rng)
-        return (LOSS.value(res.w, data.features, data.labels)
-                - LOSS.value(data.w_star, data.features, data.labels))
-
+    point = TruncationThresholdAblation(features=FEATURES, noise=NOISE, d=D,
+                                        n=N, theory_threshold=K_theory)
     table = run_sweep(point, MULTIPLIERS, ["excess_risk"], seed=240)
     emit_table("ablation_threshold",
                f"Ablation: LASSO excess risk vs K multiplier "

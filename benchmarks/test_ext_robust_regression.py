@@ -12,15 +12,8 @@ measured ordering).
 import numpy as np
 
 from _common import FULL, assert_finite, assert_trending_down, emit_table, run_sweep
-from repro import (
-    BiweightLoss,
-    DistributionSpec,
-    HeavyTailedDPFW,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
-)
+from _scenarios import RobustRegressionExtension, _l1_linear_data
+from repro import BiweightLoss, DistributionSpec, HeavyTailedDPFW, L1Ball
 
 D = 40
 N_SWEEP = [20_000, 60_000] if FULL else [4000, 16_000]
@@ -31,16 +24,9 @@ NOISE = DistributionSpec("student_t", {"df": 3.0})
 BIWEIGHT = BiweightLoss(c=2.0)
 
 
-def _make(n, rng):
-    return make_linear_data(n, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
-
-
-def _param_error(w, data):
-    return float(np.linalg.norm(w - data.w_star))
-
-
 def test_ext_robust_regression(benchmark):
-    data0 = _make(N_SWEEP[0], np.random.default_rng(0))
+    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+                            np.random.default_rng(0))
     solver0 = HeavyTailedDPFW(BIWEIGHT, L1Ball(D), epsilon=1.0, tau=3.0)
     benchmark.pedantic(
         lambda: solver0.fit(data0.features, data0.labels,
@@ -48,13 +34,8 @@ def test_ext_robust_regression(benchmark):
         rounds=1, iterations=1,
     )
 
-    def point(loss_name, n, rng):
-        data = _make(n, rng)
-        loss = BIWEIGHT if loss_name == "biweight" else SquaredLoss()
-        solver = HeavyTailedDPFW(loss, L1Ball(D), epsilon=1.0, tau=3.0)
-        res = solver.fit(data.features, data.labels, rng=rng)
-        return _param_error(res.w, data)
-
+    point = RobustRegressionExtension(features=FEATURES, noise=NOISE, d=D,
+                                      sweep="n", eps_fixed=1.0)
     table = run_sweep(point, N_SWEEP, ["biweight", "squared"], seed=300)
     emit_table("ext_robust_regression",
                "Extension (Thm 3): parameter error vs n, biweight vs squared "
@@ -62,13 +43,9 @@ def test_ext_robust_regression(benchmark):
     assert_finite(table)
     assert_trending_down(table, slack=0.4)
 
-    def point_eps(loss_name, eps, rng):
-        data = _make(N_SWEEP[0], rng)
-        loss = BIWEIGHT if loss_name == "biweight" else SquaredLoss()
-        solver = HeavyTailedDPFW(loss, L1Ball(D), epsilon=eps, tau=3.0)
-        res = solver.fit(data.features, data.labels, rng=rng)
-        return _param_error(res.w, data)
-
+    point_eps = RobustRegressionExtension(features=FEATURES, noise=NOISE,
+                                          d=D, sweep="epsilon",
+                                          n_fixed=N_SWEEP[0])
     table_eps = run_sweep(point_eps, EPS_SWEEP, ["biweight"], seed=301)
     emit_table("ext_robust_regression",
                "Extension (Thm 3): parameter error vs eps (biweight loss)",

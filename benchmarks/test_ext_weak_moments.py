@@ -10,14 +10,8 @@ which is the natural estimator for the weak-moment regime.
 import numpy as np
 
 from _common import FULL, assert_finite, assert_trending_down, emit_table, run_sweep
-from repro import (
-    DistributionSpec,
-    HeavyTailedDPFW,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
-)
+from _scenarios import WeakMomentsExtension, _l1_linear_data
+from repro import DistributionSpec, HeavyTailedDPFW, L1Ball, SquaredLoss
 
 D = 30
 N_SWEEP = [20_000, 80_000] if FULL else [5000, 20_000]
@@ -28,12 +22,9 @@ FEATURES = DistributionSpec("pareto", {"tail_index": 1.45})
 NOISE = DistributionSpec("gaussian", {"scale": 0.1})
 
 
-def _make(n, rng):
-    return make_linear_data(n, l1_ball_truth(D, rng), FEATURES, NOISE, rng=rng)
-
-
 def test_ext_weak_moments(benchmark):
-    data0 = _make(N_SWEEP[0], np.random.default_rng(0))
+    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+                            np.random.default_rng(0))
     solver0 = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=3.0,
                               gradient_estimator="truncated", moment_order=1.4)
     benchmark.pedantic(
@@ -42,17 +33,8 @@ def test_ext_weak_moments(benchmark):
         rounds=1, iterations=1,
     )
 
-    def point(engine, n, rng):
-        data = _make(n, rng)
-        if engine == "truncated(v=0.4)":
-            solver = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=3.0,
-                                     gradient_estimator="truncated",
-                                     moment_order=1.4)
-        else:
-            solver = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=3.0)
-        res = solver.fit(data.features, data.labels, rng=rng)
-        return float(np.linalg.norm(res.w - data.w_star, ord=1))
-
+    point = WeakMomentsExtension(features=FEATURES, noise=NOISE, d=D,
+                                 moment_order=1.4)
     table = run_sweep(point, N_SWEEP, ["truncated(v=0.4)", "catoni"], seed=310)
     emit_table("ext_weak_moments",
                "Extension: l1 parameter error under infinite-variance "

@@ -17,17 +17,14 @@ from _common import (
     emit_table,
     run_sweep,
 )
-from repro import (
-    DistributionSpec,
-    HeavyTailedDPFW,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
+from _scenarios import (
+    L1LinearPanel,
+    L1PrivateVsNonprivatePanel,
+    _fit_l1_private,
+    _l1_linear_data,
 )
-from repro.baselines import FrankWolfe
+from repro import DistributionSpec
 
-LOSS = SquaredLoss()
 FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
 NOISE = DistributionSpec("gaussian", {"scale": 0.1})
 
@@ -38,36 +35,20 @@ N_SWEEP = [10_000, 30_000, 90_000] if FULL else [2000, 4000, 8000]
 D_FIXED = 400 if FULL else 40
 
 
-def _make(n, d, rng):
-    w_star = l1_ball_truth(d, rng)
-    return make_linear_data(n, w_star, FEATURES, NOISE, rng=rng)
-
-
-def _excess(w, data):
-    return (LOSS.value(w, data.features, data.labels)
-            - LOSS.value(data.w_star, data.features, data.labels))
-
-
-def _fit_private(data, epsilon, rng):
-    solver = HeavyTailedDPFW(LOSS, L1Ball(data.dimension), epsilon=epsilon,
-                             tau=5.0, schedule_mode="theory")
-    return solver.fit(data.features, data.labels, rng=rng).w
-
-
 def test_fig01_dpfw_linear(benchmark):
     # Timing sample: one representative private fit.
     timing_rng = np.random.default_rng(0)
-    timing_data = _make(N_FIXED, D_SERIES[0], timing_rng)
+    timing_data = _l1_linear_data(N_FIXED, D_SERIES[0], FEATURES, NOISE,
+                                  timing_rng)
     benchmark.pedantic(
-        lambda: _fit_private(timing_data, 1.0, np.random.default_rng(1)),
+        lambda: _fit_l1_private("dpfw", timing_data, 1.0, 5.0, 1e-5,
+                                np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
     # Panel (a): error vs epsilon, one curve per dimension.
-    def point_a(d, eps, rng):
-        data = _make(N_FIXED, d, rng)
-        return _excess(_fit_private(data, eps, rng), data)
-
+    point_a = L1LinearPanel(solver="dpfw", features=FEATURES, noise=NOISE,
+                            sweep="epsilon", n_fixed=N_FIXED)
     panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=10)
     emit_table("fig01", "Figure 1(a): excess risk vs epsilon "
                f"(n={N_FIXED}, linear, lognormal x)", "epsilon", EPS_SWEEP,
@@ -77,10 +58,8 @@ def test_fig01_dpfw_linear(benchmark):
     assert_dimension_insensitive(panel_a)
 
     # Panel (b): error vs n at eps = 1.
-    def point_b(d, n, rng):
-        data = _make(n, d, rng)
-        return _excess(_fit_private(data, 1.0, rng), data)
-
+    point_b = L1LinearPanel(solver="dpfw", features=FEATURES, noise=NOISE,
+                            sweep="n", eps_fixed=1.0)
     panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=11)
     emit_table("fig01", "Figure 1(b): excess risk vs n (eps=1)", "n", N_SWEEP,
                panel_b)
@@ -88,15 +67,8 @@ def test_fig01_dpfw_linear(benchmark):
     assert_trending_down(panel_b, slack=0.3)
 
     # Panel (c): private vs non-private vs n at fixed d.
-    def point_c(kind, n, rng):
-        data = _make(n, D_FIXED, rng)
-        if kind == "private(eps=1)":
-            w = _fit_private(data, 1.0, rng)
-        else:
-            w = FrankWolfe(LOSS, L1Ball(D_FIXED), n_iterations=60).fit(
-                data.features, data.labels)
-        return _excess(w, data)
-
+    point_c = L1PrivateVsNonprivatePanel(solver="dpfw", features=FEATURES,
+                                         noise=NOISE, d_fixed=D_FIXED)
     panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
                         seed=12)
     emit_table("fig01", f"Figure 1(c): private vs non-private (d={D_FIXED})",

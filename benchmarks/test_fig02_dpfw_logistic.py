@@ -15,17 +15,14 @@ from _common import (
     emit_table,
     run_sweep,
 )
-from repro import (
-    DistributionSpec,
-    HeavyTailedDPFW,
-    L1Ball,
-    LogisticLoss,
-    l1_ball_truth,
-    make_logistic_data,
+from _scenarios import (
+    LOGISTIC,
+    LogisticDPFWPanel,
+    LogisticPrivateVsNonprivatePanel,
+    _logistic_l1_data,
 )
-from repro.baselines import FrankWolfe
+from repro import DistributionSpec, HeavyTailedDPFW, L1Ball
 
-LOSS = LogisticLoss()
 FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
 
 D_SERIES = [200, 400, 800] if FULL else [20, 80]
@@ -37,42 +34,23 @@ N_SWEEP = [10_000, 30_000, 90_000] if FULL else [2000, 4000, 8000]
 D_FIXED = 400 if FULL else 40
 
 
-def _make(n, d, rng):
-    w_star = l1_ball_truth(d, rng)
-    return make_logistic_data(n, w_star, FEATURES, None, rng=rng)
-
-
-def _excess(w, data):
-    """Excess vs the ball-constrained empirical optimum.
-
-    The planted ``w*`` is NOT the logistic-risk minimiser over the ball
-    (with separable sign labels the risk keeps falling toward the
-    boundary), so the reference is computed by non-private Frank-Wolfe,
-    exactly as the paper does for its real-data experiments.
-    """
-    w_opt = FrankWolfe(LOSS, L1Ball(data.dimension), n_iterations=80).fit(
-        data.features, data.labels)
-    return (LOSS.value(w, data.features, data.labels)
-            - LOSS.value(w_opt, data.features, data.labels))
-
-
 def _fit_private(data, epsilon, rng):
-    solver = HeavyTailedDPFW(LOSS, L1Ball(data.dimension), epsilon=epsilon,
-                             tau=3.0, schedule_mode="theory")
+    solver = HeavyTailedDPFW(LOGISTIC, L1Ball(data.dimension),
+                             epsilon=epsilon, tau=3.0,
+                             schedule_mode="theory")
     return solver.fit(data.features, data.labels, rng=rng).w
 
 
 def test_fig02_dpfw_logistic(benchmark):
-    timing_data = _make(N_FIXED, D_SERIES[0], np.random.default_rng(0))
+    timing_data = _logistic_l1_data(N_FIXED, D_SERIES[0], FEATURES,
+                                    np.random.default_rng(0))
     benchmark.pedantic(
         lambda: _fit_private(timing_data, 1.0, np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    def point_a(d, eps, rng):
-        data = _make(N_FIXED, d, rng)
-        return _excess(_fit_private(data, eps, rng), data)
-
+    point_a = LogisticDPFWPanel(features=FEATURES, sweep="epsilon",
+                                n_fixed=N_FIXED)
     panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=20, n_trials=5)
     emit_table("fig02", "Figure 2(a): excess logistic risk vs epsilon "
                f"(n={N_FIXED})", "epsilon", EPS_SWEEP, panel_a)
@@ -80,14 +58,11 @@ def test_fig02_dpfw_logistic(benchmark):
     assert_trending_down(panel_a, slack=0.3)
     assert_dimension_insensitive(panel_a)
 
-    def point_b(d, n, rng):
-        data = _make(n, d, rng)
-        return _excess(_fit_private(data, 1.0, rng), data)
-
     # At bench-scale n (<= 8000) the logistic excess-risk-vs-n curve is
     # essentially flat — the paper's visible decrease needs n up to 9e4
     # — and a 3-trial mean swings by ~1.4x on seed luck alone.  Use more
     # trials to tame the variance and assert "not clearly trending up".
+    point_b = LogisticDPFWPanel(features=FEATURES, sweep="n", eps_fixed=1.0)
     panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=21,
                         n_trials=max(N_TRIALS, 6))
     emit_table("fig02", "Figure 2(b): excess logistic risk vs n (eps=1)",
@@ -95,15 +70,8 @@ def test_fig02_dpfw_logistic(benchmark):
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    def point_c(kind, n, rng):
-        data = _make(n, D_FIXED, rng)
-        if kind == "private(eps=1)":
-            w = _fit_private(data, 1.0, rng)
-        else:
-            w = FrankWolfe(LOSS, L1Ball(D_FIXED), n_iterations=60).fit(
-                data.features, data.labels)
-        return _excess(w, data)
-
+    point_c = LogisticPrivateVsNonprivatePanel(features=FEATURES,
+                                               d_fixed=D_FIXED)
     panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
                         seed=22)
     emit_table("fig02", f"Figure 2(c): private vs non-private (d={D_FIXED})",

@@ -12,31 +12,12 @@ loosest of the suite.
 import numpy as np
 
 from _common import FULL, assert_finite, emit_table, run_sweep
+from _scenarios import RealDataPanel
 from repro import HeavyTailedDPFW, L1Ball, SquaredLoss, load_real_like
-from repro.baselines import FrankWolfe
 
 LOSS = SquaredLoss()
 N_SWEEP = [20_000, 40_000, 60_000] if FULL else [1500, 3000, 6000]
 EPS_SERIES = [0.5, 1.0, 2.0]
-
-
-def _point_factory(dataset):
-    def point(eps, n, rng):
-        data = load_real_like(dataset, rng=rng, n_samples=n)
-        d = data.dimension
-        ball = L1Ball(d)
-        # Reference: best risk along the non-private FW path.  On the
-        # heavy-tailed stand-ins a single outlier row can inflate the
-        # curvature so much that the *final* FW iterate overshoots; the
-        # running best is the honest non-private optimum proxy.
-        fw = FrankWolfe(LOSS, ball, n_iterations=120, record_history=True)
-        fw.fit(data.features, data.labels)
-        opt_risk = min(fw.risks_)
-        solver = HeavyTailedDPFW(LOSS, ball, epsilon=eps, tau=10.0,
-                                 schedule_mode="theory")
-        w_priv = solver.fit(data.features, data.labels, rng=rng).w
-        return LOSS.value(w_priv, data.features, data.labels) - opt_risk
-    return point
 
 
 def test_fig03_dpfw_real_linear(benchmark):
@@ -51,7 +32,8 @@ def test_fig03_dpfw_real_linear(benchmark):
     )
 
     for dataset in ("blog", "twitter"):
-        panel = run_sweep(_point_factory(dataset), N_SWEEP, EPS_SERIES,
+        point = RealDataPanel(dataset=dataset, loss="squared", tau=10.0)
+        panel = run_sweep(point, N_SWEEP, EPS_SERIES,
                           seed=30 + sum(ord(c) for c in dataset) % 7)
         emit_table("fig03", f"Figure 3 ({dataset}): excess risk vs n per eps",
                    "n", N_SWEEP, panel)

@@ -8,27 +8,12 @@ stand-ins are ±1 from a planted logistic model.
 import numpy as np
 
 from _common import FULL, assert_finite, emit_table, run_sweep
+from _scenarios import RealDataPanel
 from repro import HeavyTailedDPFW, L1Ball, LogisticLoss, load_real_like
-from repro.baselines import FrankWolfe
 
 LOSS = LogisticLoss()
 N_SWEEP = [20_000, 40_000, 60_000] if FULL else [1500, 3000, 6000]
 EPS_SERIES = [0.5, 1.0, 2.0]
-
-
-def _point_factory(dataset):
-    def point(eps, n, rng):
-        data = load_real_like(dataset, rng=rng, n_samples=n)
-        ball = L1Ball(data.dimension)
-        # Best risk along the FW path (see fig03 for the rationale).
-        fw = FrankWolfe(LOSS, ball, n_iterations=120, record_history=True)
-        fw.fit(data.features, data.labels)
-        opt_risk = min(fw.risks_)
-        solver = HeavyTailedDPFW(LOSS, ball, epsilon=eps, tau=10.0,
-                                 schedule_mode="theory")
-        w_priv = solver.fit(data.features, data.labels, rng=rng).w
-        return LOSS.value(w_priv, data.features, data.labels) - opt_risk
-    return point
 
 
 def test_fig04_dpfw_real_logistic(benchmark):
@@ -43,7 +28,8 @@ def test_fig04_dpfw_real_logistic(benchmark):
     )
 
     for dataset in ("winnipeg", "year_prediction"):
-        panel = run_sweep(_point_factory(dataset), N_SWEEP, EPS_SERIES,
+        point = RealDataPanel(dataset=dataset, loss="logistic", tau=10.0)
+        panel = run_sweep(point, N_SWEEP, EPS_SERIES,
                           seed=40 + sum(ord(c) for c in dataset) % 7)
         emit_table("fig04", f"Figure 4 ({dataset}): excess logistic risk vs n",
                    "n", N_SWEEP, panel)

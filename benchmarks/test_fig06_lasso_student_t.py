@@ -15,17 +15,14 @@ from _common import (
     emit_table,
     run_sweep,
 )
-from repro import (
-    DistributionSpec,
-    HeavyTailedPrivateLasso,
-    L1Ball,
-    SquaredLoss,
-    l1_ball_truth,
-    make_linear_data,
+from _scenarios import (
+    L1LinearPanel,
+    L1PrivateVsNonprivatePanel,
+    _fit_l1_private,
+    _l1_linear_data,
 )
-from repro.baselines import FrankWolfe
+from repro import DistributionSpec
 
-LOSS = SquaredLoss()
 FEATURES = DistributionSpec("student_t", {"df": 10.0})
 NOISE = DistributionSpec("gaussian", {"scale": 0.1})
 
@@ -37,32 +34,17 @@ D_FIXED = 200 if FULL else 40
 DELTA = 1e-5
 
 
-def _make(n, d, rng):
-    return make_linear_data(n, l1_ball_truth(d, rng), FEATURES, NOISE, rng=rng)
-
-
-def _excess(w, data):
-    return (LOSS.value(w, data.features, data.labels)
-            - LOSS.value(data.w_star, data.features, data.labels))
-
-
-def _fit(data, eps, rng):
-    solver = HeavyTailedPrivateLasso(L1Ball(data.dimension), epsilon=eps,
-                                     delta=DELTA)
-    return solver.fit(data.features, data.labels, rng=rng).w
-
-
 def test_fig06_lasso_student_t(benchmark):
-    timing_data = _make(N_FIXED, D_SERIES[0], np.random.default_rng(0))
+    timing_data = _l1_linear_data(N_FIXED, D_SERIES[0], FEATURES, NOISE,
+                                  np.random.default_rng(0))
     benchmark.pedantic(
-        lambda: _fit(timing_data, 1.0, np.random.default_rng(1)),
+        lambda: _fit_l1_private("lasso", timing_data, 1.0, 5.0, DELTA,
+                                np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    def point_a(d, eps, rng):
-        data = _make(N_FIXED, d, rng)
-        return _excess(_fit(data, eps, rng), data)
-
+    point_a = L1LinearPanel(solver="lasso", features=FEATURES, noise=NOISE,
+                            sweep="epsilon", n_fixed=N_FIXED, delta=DELTA)
     panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=60)
     emit_table("fig06", "Figure 6(a): LASSO (t-dist) excess risk vs eps",
                "epsilon", EPS_SWEEP, panel_a)
@@ -70,25 +52,17 @@ def test_fig06_lasso_student_t(benchmark):
     assert_trending_down(panel_a, slack=0.5)
     assert_dimension_insensitive(panel_a, factor=6.0)
 
-    def point_b(d, n, rng):
-        data = _make(n, d, rng)
-        return _excess(_fit(data, 1.0, rng), data)
-
+    point_b = L1LinearPanel(solver="lasso", features=FEATURES, noise=NOISE,
+                            sweep="n", eps_fixed=1.0, delta=DELTA)
     panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=61)
     emit_table("fig06", "Figure 6(b): LASSO (t-dist) excess risk vs n (eps=1)",
                "n", N_SWEEP, panel_b)
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    def point_c(kind, n, rng):
-        data = _make(n, D_FIXED, rng)
-        if kind == "private(eps=1)":
-            w = _fit(data, 1.0, rng)
-        else:
-            w = FrankWolfe(LOSS, L1Ball(D_FIXED), n_iterations=60).fit(
-                data.features, data.labels)
-        return _excess(w, data)
-
+    point_c = L1PrivateVsNonprivatePanel(solver="lasso", features=FEATURES,
+                                         noise=NOISE, d_fixed=D_FIXED,
+                                         delta=DELTA)
     panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
                         seed=62)
     emit_table("fig06", f"Figure 6(c): private vs non-private (d={D_FIXED})",

@@ -38,4 +38,4 @@ def test_fig10_sparse_logistic_gaussian(benchmark):
         rounds=1, iterations=1,
     )
     logistic_sparse_panels("fig10", FEATURES, NOISE, seed=100,
-                           loss_factory=_loss, tau=6.0)
+                           tau=6.0, l2_penalty=0.01)

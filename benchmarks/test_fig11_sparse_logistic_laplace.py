@@ -36,4 +36,4 @@ def test_fig11_sparse_logistic_laplace(benchmark):
         rounds=1, iterations=1,
     )
     logistic_sparse_panels("fig11", FEATURES, NOISE, seed=110,
-                           loss_factory=_loss, tau=30.0)
+                           tau=30.0, l2_penalty=0.01)

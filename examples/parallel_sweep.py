@@ -1,15 +1,23 @@
-"""Fan a figure-style sweep grid out over worker processes.
+"""Fan a figure-style sweep grid out over threads and worker processes.
 
-Demonstrates the experiment engine behind ``sweep()``:
+Demonstrates the experiment engine behind ``sweep()`` (architecture:
+``docs/engine.md``):
 
 * every (series, sweep, trial) cell is an independently seeded job, so
-  the ``process`` executor reproduces the ``serial`` executor
-  bit-for-bit while using all cores;
+  the ``thread`` and ``process`` executors reproduce the ``serial``
+  executor bit-for-bit while using all cores;
 * an on-disk cell cache makes an immediate re-run near-instant — only
-  missing cells are recomputed.
+  missing cells are recomputed;
+* cache keys include a fingerprint of the point function's bytecode,
+  so editing the point below would invalidate its cached cells
+  automatically.
 
-The point function must be module-level (picklable) for the process
-executor; closures and lambdas only work with the serial executor.
+The point function must be picklable for the *process* executor — a
+module-level function like ``noisy_quadratic``, or a
+``Scenario``/``PointSpec`` dataclass (``repro.evaluation.scenarios``).
+The ``thread`` executor has no such requirement (threads share the
+interpreter) and shines when the point is dominated by BLAS calls,
+which release the GIL.
 """
 
 import tempfile
@@ -17,20 +25,26 @@ import time
 
 import numpy as np
 
-from repro.evaluation import ResultCache, run_grid
+from repro.evaluation import PointSpec, ResultCache, run_grid
 
 
-def noisy_quadratic(series, x, rng):
+def noisy_quadratic(series, x, rng, scale=1.0):
     """A stand-in for one figure cell: O(ms) of real numpy work."""
     dim = int(series)
     samples = rng.normal(size=(int(x), dim))
-    w = rng.normal(size=dim) / np.sqrt(dim)
+    w = scale * rng.normal(size=dim) / np.sqrt(dim)
     return float(np.mean((samples @ w) ** 2))
+
+
+#: The same point as a picklable scenario: parameters ride along as
+#: dataclass fields, and both field edits and code edits re-key the
+#: cell cache.
+POINT = PointSpec.of(noisy_quadratic, scale=1.0)
 
 
 def timed(label, **kwargs):
     start = time.perf_counter()
-    result = run_grid(noisy_quadratic, "n", [1000, 2000, 4000, 8000],
+    result = run_grid(POINT, "n", [1000, 2000, 4000, 8000],
                       "d", [64, 128], n_trials=6, seed=2026, **kwargs)
     elapsed = time.perf_counter() - start
     print(f"{label:>28}: {elapsed:6.2f}s")
@@ -39,11 +53,17 @@ def timed(label, **kwargs):
 
 def main():
     serial, t_serial = timed("serial executor")
+    threads, t_threads = timed("thread executor", executor="thread",
+                               max_workers=4)
     procs, t_procs = timed("process executor", executor="process",
                            chunksize=2)
     for d in (64, 128):
+        assert serial.means(d).tolist() == threads.means(d).tolist(), \
+            "executors must agree bit-for-bit"
         assert serial.means(d).tolist() == procs.means(d).tolist(), \
             "executors must agree bit-for-bit"
+    print(f"{'serial/thread ratio':>28}: {t_serial / t_threads:6.2f}x "
+          "(identical results; BLAS releases the GIL)")
     print(f"{'serial/process ratio':>28}: {t_serial / t_procs:6.2f}x "
           "(identical results, same seeds; gains scale with core count)")
 
@@ -53,6 +73,15 @@ def main():
         _, t_warm = timed("warm cache", cache=cache)
         print(f"{'cache hits':>28}: {cache.hits} cells "
               f"(re-run took {t_warm:.3f}s)")
+
+        # A different parameterisation is a different fingerprint: the
+        # warm cache is not fooled, the cells are recomputed.
+        rescaled = PointSpec.of(noisy_quadratic, scale=2.0)
+        misses_before = cache.misses
+        run_grid(rescaled, "n", [1000, 2000, 4000, 8000], "d", [64, 128],
+                 n_trials=6, seed=2026, cache=cache)
+        print(f"{'after scale=2.0 edit':>28}: {cache.misses - misses_before} "
+              "misses (code-aware keys retire stale cells)")
 
     print()
     print(serial.format_table(title="mean squared projection vs n"))

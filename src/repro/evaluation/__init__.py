@@ -1,15 +1,17 @@
-"""Evaluation harness: metrics, engine, repeated-trial runner, sweeps, tables."""
+"""Evaluation harness: metrics, engine, scenarios, runner, sweeps, tables."""
 
 from .ascii_plots import ascii_plot
 from .engine import (
     ProcessExecutor,
     ResultCache,
     SerialExecutor,
+    ThreadExecutor,
     TrialJob,
     build_jobs,
     get_executor,
     run_grid,
 )
+from .scenarios import PointSpec, Scenario, point_fingerprint
 from .metrics import (
     classification_accuracy,
     excess_empirical_risk,
@@ -24,10 +26,13 @@ from .tables import format_series_table, markdown_table, shape_summary
 
 __all__ = [
     "ExperimentRunner",
+    "PointSpec",
     "ProcessExecutor",
     "ResultCache",
+    "Scenario",
     "SerialExecutor",
     "SweepResult",
+    "ThreadExecutor",
     "TrialJob",
     "TrialStats",
     "ascii_plot",
@@ -39,6 +44,7 @@ __all__ = [
     "markdown_table",
     "mean_squared_estimation_error",
     "parameter_error",
+    "point_fingerprint",
     "relative_risk_gap",
     "run_grid",
     "shape_summary",

@@ -49,6 +49,7 @@ def ascii_plot(x_values: Sequence[float], series: Dict[str, Sequence[float]],
             )
 
     def transform(y: float) -> float:
+        """Map a data value onto the (possibly log) plotting axis."""
         return math.log10(y) if logy else y
 
     points = []  # (col, row-value, marker-index)
@@ -76,6 +77,7 @@ def ascii_plot(x_values: Sequence[float], series: Dict[str, Sequence[float]],
         grid[row][col] = _MARKERS[mi % len(_MARKERS)]
 
     def fmt(v: float) -> str:
+        """Render an axis-space value back in data units for labels."""
         return f"{10**v:.3g}" if logy else f"{v:.3g}"
 
     lines: List[str] = []

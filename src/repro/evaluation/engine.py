@@ -3,10 +3,15 @@
 Every figure panel in the paper is a (series × sweep × trial) grid of
 independent stochastic experiments.  This module materialises each grid
 cell as a :class:`TrialJob` — an independently seeded, picklable unit of
-work — and fans the jobs out over a pluggable executor (serial in-process
-or a :class:`concurrent.futures.ProcessPoolExecutor` pool), optionally
+work — and fans the jobs out over a pluggable executor (serial
+in-process, a :class:`concurrent.futures.ThreadPoolExecutor` for points
+whose hot loops release the GIL, or a
+:class:`concurrent.futures.ProcessPoolExecutor` pool), optionally
 short-circuiting cells whose trial values are already present in an
-on-disk :class:`ResultCache`.
+on-disk :class:`ResultCache`.  Point functions are best written as
+:class:`~repro.evaluation.scenarios.Scenario` dataclasses: picklable
+(so the process executor can fan out) and code-fingerprinted (so the
+cache invalidates when their code changes).
 
 Seeding is the load-bearing correctness property.  Cell seeds are derived
 from a *stable digest* of the cell coordinates (``hashlib.blake2b`` over a
@@ -15,9 +20,15 @@ the root :class:`numpy.random.SeedSequence`.  The builtin :func:`hash` is
 never used: it is salted per process (``PYTHONHASHSEED``), which is
 exactly the bug that made the old ``sweep()`` non-reproducible across
 processes.  Because seeds depend only on the root seed and the cell's
-coordinates — never on grid *indices* or execution order — the serial and
-process executors produce bit-identical results, and the cache stays
-sound when a grid is extended with new sweep values.
+coordinates — never on grid *indices* or execution order — all three
+executors produce bit-identical results, and the cache stays sound when
+a grid is extended with new sweep values.
+
+Cache keys additionally fold in a *code fingerprint* of the point
+callable (:func:`~repro.evaluation.scenarios.point_fingerprint`): a
+digest of its bytecode, constants, and configuration.  Seeds never
+depend on the fingerprint — editing point code invalidates the affected
+cache cells but leaves the random draws of recomputed cells unchanged.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ import os
 import pickle
 import re
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -163,12 +174,22 @@ class TrialJob:
     def create(cls, *, series_index: int, sweep_index: int,
                series_value: object, sweep_value: object, n_trials: int,
                root: np.random.SeedSequence, sweep_name: str,
-               series_name: str, cache_tag: str = "") -> "TrialJob":
-        """Build a job with digest-derived seed material for one cell."""
+               series_name: str, cache_tag: str = "",
+               code_token: str = "") -> "TrialJob":
+        """Build a job with digest-derived seed material for one cell.
+
+        ``code_token`` (normally the point callable's
+        :func:`~repro.evaluation.scenarios.point_fingerprint`) enters
+        the cache digest only — never the seed material — so editing
+        point code retires stale cache cells without perturbing the
+        random draws of the recomputed ones.  An empty token reproduces
+        the pre-fingerprint digests, keeping code-agnostic callers (and
+        their warm caches) stable.
+        """
         words = cell_seed_words(series_name, series_value,
                                 sweep_name, sweep_value)
         spawn_key = tuple(int(k) for k in root.spawn_key) + words
-        digest = hashlib.blake2b("\x1f".join([
+        components = [
             canonical_token(cache_tag),
             canonical_token(root.entropy if not isinstance(root.entropy, np.ndarray)
                             else root.entropy.tolist()),
@@ -176,7 +197,11 @@ class TrialJob:
             canonical_token(series_name), canonical_token(series_value),
             canonical_token(sweep_name), canonical_token(sweep_value),
             canonical_token(n_trials),
-        ]).encode("utf-8"), digest_size=16).hexdigest()
+        ]
+        if code_token:
+            components.append("code=" + canonical_token(code_token))
+        digest = hashlib.blake2b("\x1f".join(components).encode("utf-8"),
+                                 digest_size=16).hexdigest()
         return cls(series_index=series_index, sweep_index=sweep_index,
                    series_value=series_value, sweep_value=sweep_value,
                    n_trials=n_trials, entropy=root.entropy,
@@ -196,14 +221,17 @@ class TrialJob:
 
 def build_jobs(sweep_name: str, sweep_values: Sequence[object],
                series_name: str, series_values: Sequence[object],
-               n_trials: int, seed: GridSeed,
-               cache_tag: str = "") -> List[TrialJob]:
+               n_trials: int, seed: GridSeed, cache_tag: str = "",
+               code_token: str = "") -> List[TrialJob]:
     """Materialise every grid cell of a panel as an independent job.
 
     Series values must be unique: they key the result's ``series``
     mapping, and a duplicate would silently interleave two copies of
     the curve into one list.  (Duplicate *sweep* values are harmless —
     equal coordinates get equal seeds and equal results.)
+
+    ``code_token`` is folded into each job's cache digest (see
+    :meth:`TrialJob.create`); it does not influence seeds.
     """
     if len(set(series_values)) != len(list(series_values)):
         raise ValueError(f"series_values must be unique, got {list(series_values)!r}")
@@ -215,7 +243,7 @@ def build_jobs(sweep_name: str, sweep_values: Sequence[object],
                 series_index=si, sweep_index=xi, series_value=series_value,
                 sweep_value=sweep_value, n_trials=n_trials, root=root,
                 sweep_name=sweep_name, series_name=series_name,
-                cache_tag=cache_tag))
+                cache_tag=cache_tag, code_token=code_token))
     return jobs
 
 
@@ -252,6 +280,7 @@ class SerialExecutor:
     """
 
     def run(self, payloads: Sequence[Tuple[PointFn, TrialJob]]):
+        """Yield each cell's trial values as it completes, in order."""
         for payload in payloads:
             yield _execute_payload(payload)
 
@@ -282,6 +311,7 @@ class ProcessExecutor:
         self.chunksize = chunksize
 
     def run(self, payloads: Sequence[Tuple[PointFn, TrialJob]]):
+        """Yield each cell's trial values as the worker pool streams them."""
         if not payloads:
             return
         point = payloads[0][0]
@@ -289,9 +319,11 @@ class ProcessExecutor:
             pickle.dumps(point)
         except Exception as exc:
             raise TypeError(
-                "the process executor needs a picklable point function "
-                "(a module-level function, not a closure or lambda); "
-                "use executor='serial' for closure-based points") from exc
+                "the process executor needs a picklable point function — "
+                "a module-level function or a Scenario/PointSpec dataclass "
+                "(repro.evaluation.scenarios), not a closure or lambda; "
+                "use executor='serial' or 'thread' for closure-based "
+                "points") from exc
         # Yield results as pool.map streams them (in submission order) so
         # the caller can cache completed cells before a later one fails;
         # the pool stays open for exactly as long as the generator runs.
@@ -300,20 +332,62 @@ class ProcessExecutor:
                                 chunksize=self.chunksize)
 
 
-ExecutorLike = Union[str, SerialExecutor, ProcessExecutor]
+class ThreadExecutor:
+    """Fans jobs out over a :class:`ThreadPoolExecutor` in-process pool.
+
+    The right executor for point functions dominated by BLAS or other C
+    kernels that release the GIL (matrix products, numpy reductions):
+    threads share the interpreter, so there is no pickling requirement —
+    closures and lambdas work — and no per-job IPC cost.  Pure-Python
+    hot loops serialise on the GIL and should use
+    :class:`ProcessExecutor` instead.
+
+    Because each job carries its own seed material, results are
+    bit-identical to :class:`SerialExecutor` and :class:`ProcessExecutor`
+    regardless of worker count or scheduling order.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` uses the ``ThreadPoolExecutor`` default
+        (``min(32, cpu_count + 4)``).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run(self, payloads: Sequence[Tuple[PointFn, TrialJob]]):
+        """Yield each cell's trial values as ``pool.map`` streams them."""
+        if not payloads:
+            return
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            yield from pool.map(_execute_payload, payloads)
+
+
+ExecutorLike = Union[str, SerialExecutor, ThreadExecutor, ProcessExecutor]
 
 
 def get_executor(executor: ExecutorLike = "serial",
-                 max_workers: Optional[int] = None,
-                 chunksize: int = 1) -> Union[SerialExecutor, ProcessExecutor]:
-    """Resolve an executor spec (``"serial"``/``"process"`` or an instance)."""
+                 max_workers: Optional[int] = None, chunksize: int = 1
+                 ) -> Union[SerialExecutor, ThreadExecutor, ProcessExecutor]:
+    """Resolve an executor spec to an executor instance.
+
+    ``executor`` is ``"serial"``, ``"thread"``, ``"process"``, or any
+    object with a ``run(payloads)`` method (returned unchanged).
+    ``chunksize`` only applies to the process pool — threads share the
+    interpreter, so there is nothing to amortise.
+    """
     if isinstance(executor, str):
         if executor == "serial":
             return SerialExecutor()
+        if executor == "thread":
+            return ThreadExecutor(max_workers=max_workers)
         if executor == "process":
             return ProcessExecutor(max_workers=max_workers, chunksize=chunksize)
         raise ValueError(f"unknown executor {executor!r}; "
-                         "expected 'serial' or 'process'")
+                         "expected 'serial', 'thread', or 'process'")
     if hasattr(executor, "run"):
         return executor
     raise TypeError(f"executor must be a name or provide .run(), "
@@ -398,7 +472,8 @@ def run_grid(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
              n_trials: int = 5, seed: GridSeed = 0,
              executor: ExecutorLike = "serial",
              max_workers: Optional[int] = None, chunksize: int = 1,
-             cache: CacheLike = None, cache_tag: str = "") -> SweepResult:
+             cache: CacheLike = None, cache_tag: str = "",
+             code_tag: Optional[str] = None) -> SweepResult:
     """Evaluate ``point`` over the sweep × series grid with repeats.
 
     The grid is materialised as :class:`TrialJob` s, cached cells are
@@ -410,9 +485,11 @@ def run_grid(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
     ----------
     point:
         ``point(series_value, sweep_value, rng) -> scalar``.  Must be
-        picklable (module-level) for the process executor.
+        picklable — a module-level function or a
+        :class:`~repro.evaluation.scenarios.Scenario` — for the process
+        executor; the serial and thread executors take any callable.
     executor:
-        ``"serial"``, ``"process"``, or any object whose
+        ``"serial"``, ``"thread"``, ``"process"``, or any object whose
         ``run(payloads)`` returns an iterable of trial-value lists in
         payload order (streaming generators preserve partial progress).
     cache:
@@ -420,9 +497,21 @@ def run_grid(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
     cache_tag:
         Distinguishes different point functions that share a root seed
         and grid; include it whenever a cache directory is shared.
+    code_tag:
+        Code component of the cache key.  ``None`` (default) derives it
+        from ``point`` via
+        :func:`~repro.evaluation.scenarios.point_fingerprint`, so
+        editing the point's code (or a scenario's fields) invalidates
+        exactly its cached cells.  Pass ``""`` to opt out and key cells
+        by coordinates alone, or a fixed string to manage versioning by
+        hand.  Never affects seeds or results — only cache reuse.
     """
+    if code_tag is None:
+        from .scenarios import point_fingerprint
+        code_tag = point_fingerprint(point)
     jobs = build_jobs(sweep_name, sweep_values, series_name, series_values,
-                      n_trials, seed, cache_tag=cache_tag)
+                      n_trials, seed, cache_tag=cache_tag,
+                      code_token=code_tag)
     store = _resolve_cache(cache)
     values_by_job: Dict[int, List[float]] = {}
     pending: List[Tuple[int, TrialJob]] = []

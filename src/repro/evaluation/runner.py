@@ -32,6 +32,7 @@ class TrialStats:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "TrialStats":
+        """Summarise raw per-trial metric values (must be non-empty)."""
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
             raise ValueError("cannot summarise zero trials")

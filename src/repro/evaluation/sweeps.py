@@ -89,8 +89,8 @@ def sweep(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
           series_name: str, series_values: Sequence[object],
           n_trials: int = 5, seed: GridSeed = 0, *,
           executor: object = "serial", max_workers: Optional[int] = None,
-          chunksize: int = 1, cache: object = None,
-          cache_tag: str = "") -> SweepResult:
+          chunksize: int = 1, cache: object = None, cache_tag: str = "",
+          code_tag: Optional[str] = None) -> SweepResult:
     """Evaluate ``point`` over the sweep × series grid with repeats.
 
     Seeds are derived per grid cell from a stable digest of the cell
@@ -109,4 +109,5 @@ def sweep(point: PointFn, sweep_name: str, sweep_values: Sequence[object],
     return run_grid(point, sweep_name, sweep_values, series_name,
                     series_values, n_trials=n_trials, seed=seed,
                     executor=executor, max_workers=max_workers,
-                    chunksize=chunksize, cache=cache, cache_tag=cache_tag)
+                    chunksize=chunksize, cache=cache, cache_tag=cache_tag,
+                    code_tag=code_tag)
