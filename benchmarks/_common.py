@@ -7,14 +7,13 @@ laptop-scale size: it sweeps the figure's x-axis, prints the same
 (finiteness; the headline monotonicity with generous slack).
 
 The paper's sizes (n up to 9e4 per point, 20 trials) would take hours;
-the ``SCALE`` constants below keep the full bench suite in minutes while
-preserving every trend.  Set the environment variable
-``REPRO_BENCH_FULL=1`` to run closer to paper scale.
-
-Each bench's point function lives in ``_scenarios.py`` as a picklable
-scenario dataclass; the test files only assemble scenarios, run
-:func:`run_sweep`, and assert figure shapes.  See ``docs/engine.md``
-for the engine architecture and the executor/cache environment knobs.
+``REPRO_BENCH_FULL=1`` switches to paper scale.  What each bench *is* —
+panel scenarios, grids, seeds, trial counts, table titles — lives in
+the named catalog (:mod:`repro.experiments.catalog`); the test files
+call :func:`run_catalog_bench` and assert figure shapes on the returned
+panels, and ``python -m repro run <name>`` reproduces the identical
+tables from the same definitions.  See ``docs/engine.md`` for the
+engine architecture and the executor/cache environment knobs.
 """
 
 from __future__ import annotations
@@ -27,26 +26,45 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.evaluation import format_series_table, run_grid, shape_summary
+from repro.evaluation import format_panel_block, run_grid
+from repro.experiments import bench
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
 #: Trials per sweep point (the paper uses >= 20).
 N_TRIALS = 10 if FULL else 3
 
+#: Executor names the engine accepts (mirrors ``repro.cli``).
+_VALID_EXECUTORS = ("serial", "thread", "process")
+
 #: Executor for the sweep grids: "serial" (default), "thread", or
 #: "process".  Every figure/ablation point is a picklable scenario
-#: dataclass (see ``_scenarios.py``), so both parallel executors fan the
-#: grid cells out for real — "process" across worker processes,
-#: "thread" across an in-process pool for the BLAS-dominated points
-#: that release the GIL.  All three are bit-identical.
+#: dataclass (see ``repro.experiments.panels``), so both parallel
+#: executors fan the grid cells out for real.  All three are
+#: bit-identical.  An unknown value fails here, at import — not as a
+#: confusing engine error after the first expensive data generation.
 EXECUTOR = os.environ.get("REPRO_BENCH_EXECUTOR", "serial")
+if EXECUTOR not in _VALID_EXECUTORS:
+    raise ValueError(
+        f"unknown REPRO_BENCH_EXECUTOR value {EXECUTOR!r}; valid options: "
+        f"{', '.join(_VALID_EXECUTORS)}")
 
 #: Optional on-disk cell cache; rerunning a bench recomputes only the
 #: cells missing from this directory.  Keys include each scenario's
-#: code fingerprint, so editing a point's code (or its fields)
-#: invalidates exactly the cells it produced.
+#: code fingerprint; ``python -m repro cache prune`` garbage-collects
+#: cells no current catalog grid claims.  An unusable directory fails
+#: here, at import, instead of silently running uncached.
 CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+if CACHE_DIR is not None:
+    try:
+        Path(CACHE_DIR).mkdir(parents=True, exist_ok=True)
+        _probe = Path(CACHE_DIR) / ".write-probe"
+        _probe.write_text("")
+        _probe.unlink()
+    except OSError as exc:
+        raise ValueError(
+            f"REPRO_BENCH_CACHE directory {CACHE_DIR!r} is not writable "
+            f"({exc}); fix or unset the variable") from exc
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -61,25 +79,55 @@ def run_sweep(point: Callable[[object, object, np.random.Generator], float],
     grids get the engine's stable cross-process seeding, parallel
     fan-out (``REPRO_BENCH_EXECUTOR``) and code-aware cell caching
     (``REPRO_BENCH_CACHE``) for free.  ``point`` is normally one of the
-    ``_scenarios.py`` dataclasses — picklable, so the process executor
-    genuinely fans out, and fingerprinted, so the engine's cache keys
-    see its code.  An ad-hoc closure still works: it runs on the serial
-    (or thread) executor, and under ``process`` it falls back to serial
-    with a warning rather than failing the bench.
+    ``repro.experiments.panels`` dataclasses — picklable, so the
+    process executor genuinely fans out, and fingerprinted, so the
+    engine's cache keys see its code.  An ad-hoc closure still works:
+    it runs on the serial (or thread) executor, and under ``process``
+    it falls back to serial with a warning rather than failing the
+    bench.
     """
-    executor = EXECUTOR
-    if executor == "process":
+    result = run_grid(point, "x", sweep_values, "series", series_values,
+                      n_trials=n_trials, seed=seed,
+                      executor=_resolve_executor(point), cache=CACHE_DIR)
+    return {series: [stat.mean for stat in result.series[series]]
+            for series in series_values}
+
+
+def _resolve_executor(point) -> str:
+    """The env-selected executor, demoted to serial for unpicklable points."""
+    if EXECUTOR == "process":
         try:
             pickle.dumps(point)
         except Exception:
             warnings.warn(f"point {point!r} is not picklable; "
                           "falling back to the serial executor")
-            executor = "serial"
-    result = run_grid(point, "x", sweep_values, "series", series_values,
-                      n_trials=n_trials, seed=seed, executor=executor,
-                      cache=CACHE_DIR)
-    return {series: [stat.mean for stat in result.series[series]]
-            for series in series_values}
+            return "serial"
+    return EXECUTOR
+
+
+def run_catalog_bench(name: str) -> List[Dict[object, List[float]]]:
+    """Run every panel of the named catalog bench; emit its tables.
+
+    The single bench entry point: grids, seeds, trial counts and titles
+    come from :func:`repro.experiments.bench` (at ``REPRO_BENCH_FULL``
+    scale), execution goes through the same
+    :meth:`~repro.experiments.catalog.PanelDef.run` the CLI uses (with
+    the bench env knobs applied), and each panel's table is printed and
+    persisted exactly as ``python -m repro run <name>`` writes it.
+    Returns the panels' ``series -> mean curve`` mappings, in catalog
+    order, for the caller's shape assertions.
+    """
+    definition = bench(name, full=FULL)
+    panels = []
+    for panel in definition.panels:
+        # The same PanelDef.run the CLI uses — one execution path, so
+        # bench-vs-CLI bit-identity cannot drift.
+        series = panel.run(executor=_resolve_executor(panel.point),
+                           cache=CACHE_DIR)
+        emit_table(definition.result_stem, panel.title, panel.x_name,
+                   panel.sweep_values, series)
+        panels.append(series)
+    return panels
 
 
 #: Result files already written this run — the first panel of a bench
@@ -92,13 +140,7 @@ _WRITTEN: set = set()
 def emit_table(name: str, title: str, x_name: str, x_values: Sequence,
                series: Dict[object, List[float]]) -> str:
     """Print the figure table and persist it under benchmarks/results/."""
-    labelled = {f"{k}": v for k, v in series.items()}
-    table = format_series_table(x_name, list(x_values), labelled, title=title)
-    trends = "\n".join(
-        f"  series {label}: {shape_summary(list(x_values), values)}"
-        for label, values in labelled.items()
-    )
-    text = f"\n{table}\n{trends}\n"
+    text = format_panel_block(title, x_name, x_values, series)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     mode = "a" if name in _WRITTEN else "w"

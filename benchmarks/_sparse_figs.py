@@ -1,117 +1,42 @@
-"""Shared harness for the sparse-learning figures (7-9: Alg 3, 10-11: Alg 5).
+"""Shared shape asserts for the sparse-learning figures (7-9 and 10-11).
 
-Every one of these figures has the same three panels:
-(a) error vs ε, one curve per dimension (n, s* fixed);
-(b) error vs n, one curve per dimension (ε = 1, s* fixed);
-(c) error vs s*, one curve per dimension (ε = 1, n fixed).
-
-The error metric is the excess empirical risk against the planted
-``w*``, exactly as the paper evaluates its sparse experiments.  The
-point functions are the :class:`_scenarios.SparseLinearPanel` and
-:class:`_scenarios.SparseLogisticPanel` dataclasses, so every panel is
-picklable (parallel executors fan out) and code-fingerprinted (the cell
-cache invalidates when panel code changes).
+Every one of these figures has the same three panels — (a) error vs ε,
+(b) error vs n, (c) error vs s*, one curve per dimension — defined in
+the catalog (:mod:`repro.experiments.catalog`) and run by
+:func:`_common.run_catalog_bench`.  This module holds only the shared
+qualitative assertions on the returned panels, so the claimed shapes
+cannot drift between the linear (Algorithm 3) and logistic
+(Algorithm 5) families.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List, Sequence
+
 from _common import (
-    FULL,
     assert_dimension_insensitive,
     assert_finite,
     assert_trending_down,
-    emit_table,
-    run_sweep,
 )
-from _scenarios import SparseLinearPanel, SparseLogisticPanel
-from repro import DistributionSpec
 
-D_SERIES = [500, 1000, 2000] if FULL else [50, 150]
-EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
-S_STAR_SWEEP = [10, 20, 40] if FULL else [2, 5, 10]
+Panel = Dict[object, List[float]]
 
 
-def linear_sparse_panels(fig_name: str, noise_spec: DistributionSpec,
-                         feature_spec: DistributionSpec, seed: int,
-                         metric: str = "excess") -> None:
-    """Run and emit the three Algorithm 3 panels for one noise law.
+def assert_sparse_panels(panels: Sequence[Panel]) -> None:
+    """The three-panel shape contract shared by Figures 7-11.
 
-    ``metric`` is ``"excess"`` (the paper's excess empirical risk) or
-    ``"param_error"`` (``||w - w*||_2``) -- the latter is the honest
-    choice when the label noise has no finite variance (Figure 8's
-    log-logistic c=0.1), where the empirical risk itself is dominated by
-    a handful of astronomically large noise draws.
+    (a) error falls (slackly) with ε and is dimension-insensitive (the
+    headline log-d claim); (b) error falls with n; (c) error grows with
+    the true sparsity s* (polynomially, per Theorem 7).
     """
-    n_fixed = 50_000 if FULL else 16_000
-    n_sweep = [20_000, 50_000, 100_000] if FULL else [8000, 16_000, 32_000]
-    s_fixed = 20 if FULL else 5
-
-    point_a = SparseLinearPanel(features=feature_spec, noise=noise_spec,
-                                sweep="epsilon", metric=metric,
-                                n_fixed=n_fixed, s_fixed=s_fixed)
-    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=seed)
-    emit_table(fig_name, f"{fig_name}(a): excess risk vs eps "
-               f"(n={n_fixed}, s*={s_fixed})", "epsilon", EPS_SWEEP, panel_a)
+    panel_a, panel_b, panel_c = panels
     assert_finite(panel_a)
     assert_trending_down(panel_a, slack=0.5)
     assert_dimension_insensitive(panel_a, factor=6.0)
 
-    point_b = SparseLinearPanel(features=feature_spec, noise=noise_spec,
-                                sweep="n", metric=metric,
-                                s_fixed=s_fixed, eps_fixed=1.0)
-    panel_b = run_sweep(point_b, n_sweep, D_SERIES, seed=seed + 1)
-    emit_table(fig_name, f"{fig_name}(b): excess risk vs n (eps=1)",
-               "n", n_sweep, panel_b)
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    point_c = SparseLinearPanel(features=feature_spec, noise=noise_spec,
-                                sweep="s_star", metric=metric,
-                                n_fixed=n_fixed, eps_fixed=1.0)
-    panel_c = run_sweep(point_c, S_STAR_SWEEP, D_SERIES, seed=seed + 2)
-    emit_table(fig_name, f"{fig_name}(c): excess risk vs s* (eps=1)",
-               "s*", S_STAR_SWEEP, panel_c)
-    assert_finite(panel_c)
-    # Error grows with sparsity (polynomially, per Theorem 7).
-    for values in panel_c.values():
-        assert values[-1] >= values[0] * 0.8
-
-
-def logistic_sparse_panels(fig_name: str, feature_spec: DistributionSpec,
-                           noise_spec: DistributionSpec, seed: int,
-                           tau: float, l2_penalty: float = 0.01) -> None:
-    """Run and emit the three Algorithm 5 panels for one data law."""
-    n_fixed = 8000 if FULL else 6000
-    n_sweep = [8000, 16_000, 32_000] if FULL else [4000, 8000, 16_000]
-    s_fixed = 20 if FULL else 5
-
-    point_a = SparseLogisticPanel(features=feature_spec, noise=noise_spec,
-                                  sweep="epsilon", tau=tau,
-                                  l2_penalty=l2_penalty,
-                                  n_fixed=n_fixed, s_fixed=s_fixed)
-    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=seed)
-    emit_table(fig_name, f"{fig_name}(a): excess risk vs eps "
-               f"(n={n_fixed}, s*={s_fixed})", "epsilon", EPS_SWEEP, panel_a)
-    assert_finite(panel_a)
-    assert_trending_down(panel_a, slack=0.5)
-    assert_dimension_insensitive(panel_a, factor=6.0)
-
-    point_b = SparseLogisticPanel(features=feature_spec, noise=noise_spec,
-                                  sweep="n", tau=tau, l2_penalty=l2_penalty,
-                                  s_fixed=s_fixed, eps_fixed=1.0)
-    panel_b = run_sweep(point_b, n_sweep, D_SERIES, seed=seed + 1)
-    emit_table(fig_name, f"{fig_name}(b): excess risk vs n (eps=1)",
-               "n", n_sweep, panel_b)
-    assert_finite(panel_b)
-    assert_trending_down(panel_b, slack=0.5)
-
-    point_c = SparseLogisticPanel(features=feature_spec, noise=noise_spec,
-                                  sweep="s_star", tau=tau,
-                                  l2_penalty=l2_penalty,
-                                  n_fixed=n_fixed, eps_fixed=1.0)
-    panel_c = run_sweep(point_c, S_STAR_SWEEP, D_SERIES, seed=seed + 2)
-    emit_table(fig_name, f"{fig_name}(c): excess risk vs s* (eps=1)",
-               "s*", S_STAR_SWEEP, panel_c)
     assert_finite(panel_c)
     for values in panel_c.values():
         assert values[-1] >= values[0] * 0.8

@@ -4,40 +4,33 @@ The introduction argues that gradient truncation/clipping (the DP-SGD
 and regular DP-FW route) either breaks privacy or loses utility on heavy
 tails.  This bench compares, at matched privacy levels, Algorithm 1
 against (i) the clipped regular DP-FW of Talwar et al. and (ii) DP-SGD
-on heavy-tailed log-normal linear regression.
+on heavy-tailed log-normal linear regression.  Catalog entry:
+``ablation_catoni_vs_clipping``.
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, emit_table, run_sweep
-from _scenarios import CatoniVsClippingAblation, _l1_linear_data
-from repro import DistributionSpec, HeavyTailedDPFW, L1Ball, SquaredLoss
-
-LOSS = SquaredLoss()
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.8})  # heavier than Fig 1
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
-D = 60
-N_SWEEP = [20_000, 60_000] if FULL else [4000, 12_000]
-DELTA = 1e-5
+from _common import FULL, assert_finite, run_catalog_bench
+from _scenarios import _l1_linear_data
+from repro import HeavyTailedDPFW, L1Ball, SquaredLoss
+from repro.experiments import bench
 
 
 def test_ablation_catoni_vs_clipping(benchmark):
-    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+    definition = bench("ablation_catoni_vs_clipping", full=FULL)
+    point = definition.panels[0].point
+    n0 = definition.panels[0].sweep_values[0]
+    data0 = _l1_linear_data(n0, point.d, point.features, point.noise,
                             np.random.default_rng(0))
-    solver0 = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0)
+    solver0 = HeavyTailedDPFW(SquaredLoss(), L1Ball(point.d), epsilon=1.0,
+                              tau=5.0)
     benchmark.pedantic(
         lambda: solver0.fit(data0.features, data0.labels,
                             rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point = CatoniVsClippingAblation(features=FEATURES, noise=NOISE, d=D,
-                                     delta=DELTA)
-    table = run_sweep(point, N_SWEEP,
-                      ["catoni-dpfw", "clipped-dpfw", "dp-sgd"], seed=200)
-    emit_table("ablation_catoni_vs_clipping",
-               "Ablation: Catoni DP-FW vs clipped baselines (excess risk)",
-               "n", N_SWEEP, table)
+    table, = run_catalog_bench("ablation_catoni_vs_clipping")
     assert_finite(table)
     # Honest reading: at these scales the clipped DP-FW is empirically
     # competitive -- the paper's objection to clipping is the *invalid

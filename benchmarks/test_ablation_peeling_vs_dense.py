@@ -3,49 +3,41 @@
 Private sparse mean estimation: select-then-release (Peeling, error
 ~ s log d) against noise-everything-then-threshold (error ~ d).  The
 gap should widen as the ambient dimension grows — the core argument for
-the paper's high-dimensional design.
+the paper's high-dimensional design.  Catalog entry:
+``ablation_peeling_vs_dense``.
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, emit_table, run_sweep
-from _scenarios import PeelingVsDenseAblation
+from _common import FULL, assert_finite, run_catalog_bench
 from repro.core import peeling
 from repro.estimators import CatoniEstimator, optimal_scale
-
-N = 20_000 if FULL else 5000
-S = 5
-D_SWEEP = [100, 400, 1600] if FULL else [50, 200, 800]
-
-
-def _population(d, rng):
-    mean = np.zeros(d)
-    support = rng.choice(d, size=S, replace=False)
-    mean[support] = rng.choice([-0.5, 0.5], size=S)
-    x = rng.normal(loc=mean, scale=1.0, size=(N, d))
-    # heavy-tailed contamination
-    mask = rng.uniform(size=N) < 0.01
-    x[mask] *= 50.0
-    return mean, x
+from repro.experiments import bench
 
 
 def test_ablation_peeling_vs_dense(benchmark):
+    definition = bench("ablation_peeling_vs_dense", full=FULL)
+    point = definition.panels[0].point
+    d0 = definition.panels[0].sweep_values[0]
+    # Timing sample: one robust-estimate + peel at the smallest d.
     rng0 = np.random.default_rng(0)
-    mean0, x0 = _population(D_SWEEP[0], rng0)
-    catoni = CatoniEstimator(scale=optimal_scale(N, 2.0, 0.05))
+    mean0 = np.zeros(d0)
+    support = rng0.choice(d0, size=point.s, replace=False)
+    mean0[support] = rng0.choice([-0.5, 0.5], size=point.s)
+    x0 = rng0.normal(loc=mean0, scale=1.0, size=(point.n, d0))
+    mask = rng0.uniform(size=point.n) < 0.01  # heavy-tailed contamination
+    x0[mask] *= 50.0
+    catoni = CatoniEstimator(scale=optimal_scale(point.n, 2.0, 0.05))
 
     def one_peel():
         robust = catoni.estimate_columns(x0)
-        return peeling(robust, S, 1.0, 1e-5, catoni.sensitivity(N),
+        return peeling(robust, point.s, 1.0, 1e-5,
+                       catoni.sensitivity(point.n),
                        rng=np.random.default_rng(1))
 
     benchmark.pedantic(one_peel, rounds=1, iterations=1)
 
-    point = PeelingVsDenseAblation(n=N, s=S)
-    table = run_sweep(point, D_SWEEP, ["peeling", "dense-laplace"], seed=220)
-    emit_table("ablation_peeling",
-               "Ablation: sparse mean sq. error, Peeling vs dense release",
-               "d", D_SWEEP, table)
+    table, = run_catalog_bench("ablation_peeling_vs_dense")
     assert_finite(table)
     # At the largest dimension Peeling must win decisively.
     assert table["peeling"][-1] < table["dense-laplace"][-1] / 4.0

@@ -3,43 +3,38 @@
 Too small a scale truncates aggressively (bias dominates); too large a
 scale inflates the exponential-mechanism sensitivity (privacy noise
 dominates).  We sweep multipliers around the theory-optimal scale and
-check the theory value sits near the bottom of the U-shape.
+check the theory value sits near the bottom of the U-shape.  Catalog
+entry: ``ablation_scale_parameter`` (which computes the theory scale
+from the DP-FW schedule).
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, emit_table, run_sweep
-from _scenarios import ScaleParameterAblation, _l1_linear_data
-from repro import DistributionSpec, HeavyTailedDPFW, L1Ball, SquaredLoss
-
-LOSS = SquaredLoss()
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
-D = 40
-N = 20_000 if FULL else 8000
-MULTIPLIERS = [0.02, 0.2, 1.0, 5.0, 50.0]
+from _common import FULL, assert_finite, run_catalog_bench
+from _scenarios import _l1_linear_data
+from repro import HeavyTailedDPFW, L1Ball, SquaredLoss
+from repro.experiments import bench
 
 
 def test_ablation_scale_parameter(benchmark):
-    base = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=5.0)
-    theory_scale = base.resolve_schedule(N).scale
-    data0 = _l1_linear_data(N, D, FEATURES, NOISE, np.random.default_rng(0))
+    definition = bench("ablation_scale_parameter", full=FULL)
+    point = definition.panels[0].point
+    base = HeavyTailedDPFW(SquaredLoss(), L1Ball(point.d), epsilon=1.0,
+                           tau=5.0)
+    assert base.resolve_schedule(point.n).scale == point.theory_scale
+    data0 = _l1_linear_data(point.n, point.d, point.features, point.noise,
+                            np.random.default_rng(0))
     benchmark.pedantic(
         lambda: base.fit(data0.features, data0.labels,
                          rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point = ScaleParameterAblation(features=FEATURES, noise=NOISE, d=D, n=N,
-                                   theory_scale=theory_scale)
-    table = run_sweep(point, MULTIPLIERS, ["excess_risk"], seed=210)
-    emit_table("ablation_scale",
-               f"Ablation: excess risk vs scale multiplier "
-               f"(theory s = {theory_scale:.2f})",
-               "s_multiplier", MULTIPLIERS, table)
+    table, = run_catalog_bench("ablation_scale_parameter")
     assert_finite(table)
     curve = table["excess_risk"]
-    at_theory = curve[MULTIPLIERS.index(1.0)]
+    multipliers = list(definition.panels[0].sweep_values)
+    at_theory = curve[multipliers.index(1.0)]
     # The right arm of the U (sensitivity/noise blow-up) is strong at any
     # scale: the theory value must clearly beat a 50x-inflated scale.
     assert at_theory <= curve[-1] * 1.2

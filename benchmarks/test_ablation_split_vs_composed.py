@@ -6,43 +6,30 @@ iteration and pays advanced composition (as Algorithm 2 does).  The
 paper explains why its *proof* needs splitting; this bench measures the
 empirical trade-off: splitting sees ``n/T`` samples per estimate, while
 composition sees all ``n`` but at per-step budget
-``eps / (2 sqrt(2 T log(1/delta)))``.
+``eps / (2 sqrt(2 T log(1/delta)))``.  Catalog entry:
+``ablation_split_vs_composed``.
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, emit_table, run_sweep
-from _scenarios import (
-    SplitVsComposedAblation,
-    _composed_catoni_dpfw,
-    _l1_linear_data,
-)
-from repro import DistributionSpec
-
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
-D = 40
-N_SWEEP = [20_000, 60_000] if FULL else [4000, 12_000]
-DELTA = 1e-5
+from _common import FULL, assert_finite, run_catalog_bench
+from _scenarios import _composed_catoni_dpfw, _l1_linear_data
+from repro.experiments import bench
 
 
 def test_ablation_split_vs_composed(benchmark):
-    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+    definition = bench("ablation_split_vs_composed", full=FULL)
+    point = definition.panels[0].point
+    n0 = definition.panels[0].sweep_values[0]
+    data0 = _l1_linear_data(n0, point.d, point.features, point.noise,
                             np.random.default_rng(0))
     benchmark.pedantic(
-        lambda: _composed_catoni_dpfw(data0, 1.0, D, DELTA,
+        lambda: _composed_catoni_dpfw(data0, 1.0, point.d, point.delta,
                                       np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point = SplitVsComposedAblation(features=FEATURES, noise=NOISE, d=D,
-                                    delta=DELTA)
-    table = run_sweep(point, N_SWEEP,
-                      ["split (paper, eps-DP)", "composed ((eps,delta)-DP)"],
-                      seed=230)
-    emit_table("ablation_split",
-               "Ablation: data splitting vs advanced composition (excess risk)",
-               "n", N_SWEEP, table)
+    table, = run_catalog_bench("ablation_split_vs_composed")
     assert_finite(table)
     # Both must be in a sane range; no formal winner asserted (the paper
     # leaves the composed variant as an open question).

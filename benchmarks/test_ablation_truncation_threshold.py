@@ -4,41 +4,35 @@ Theorem 5 sets ``K = (n eps)^{1/4} / T^{1/8}``, balancing shrinkage bias
 (small K loses signal) against exponential-mechanism noise (sensitivity
 grows as K^2).  We sweep multipliers around the schedule and verify the
 U-shape: the theory value must beat both a much smaller and a much
-larger threshold.
+larger threshold.  Catalog entry: ``ablation_truncation_threshold``
+(which computes the theory K from the Lasso schedule).
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, emit_table, run_sweep
-from _scenarios import TruncationThresholdAblation, _l1_linear_data
-from repro import DistributionSpec, HeavyTailedPrivateLasso, L1Ball
-
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
-D = 40
-N = 30_000 if FULL else 12_000
-MULTIPLIERS = [0.05, 0.3, 1.0, 3.0, 20.0]
+from _common import FULL, assert_finite, run_catalog_bench
+from _scenarios import _l1_linear_data
+from repro import HeavyTailedPrivateLasso, L1Ball
+from repro.experiments import bench
 
 
 def test_ablation_truncation_threshold(benchmark):
-    base = HeavyTailedPrivateLasso(L1Ball(D), epsilon=1.0, delta=1e-5)
-    K_theory = base.resolve_schedule(N).threshold
-    data0 = _l1_linear_data(N, D, FEATURES, NOISE, np.random.default_rng(0))
+    definition = bench("ablation_truncation_threshold", full=FULL)
+    point = definition.panels[0].point
+    base = HeavyTailedPrivateLasso(L1Ball(point.d), epsilon=1.0, delta=1e-5)
+    assert base.resolve_schedule(point.n).threshold == point.theory_threshold
+    data0 = _l1_linear_data(point.n, point.d, point.features, point.noise,
+                            np.random.default_rng(0))
     benchmark.pedantic(
         lambda: base.fit(data0.features, data0.labels,
                          rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point = TruncationThresholdAblation(features=FEATURES, noise=NOISE, d=D,
-                                        n=N, theory_threshold=K_theory)
-    table = run_sweep(point, MULTIPLIERS, ["excess_risk"], seed=240)
-    emit_table("ablation_threshold",
-               f"Ablation: LASSO excess risk vs K multiplier "
-               f"(theory K = {K_theory:.2f})",
-               "K_multiplier", MULTIPLIERS, table)
+    table, = run_catalog_bench("ablation_truncation_threshold")
     assert_finite(table)
     curve = table["excess_risk"]
-    at_theory = curve[MULTIPLIERS.index(1.0)]
+    multipliers = list(definition.panels[0].sweep_values)
+    at_theory = curve[multipliers.index(1.0)]
     assert at_theory <= curve[0] * 1.2
     assert at_theory <= curve[-1] * 1.2

@@ -6,49 +6,34 @@ Tukey biweight loss under Assumption 2, but runs no experiment for it.
 This bench fills that gap: linear model with heavy-tailed symmetric
 noise, biweight loss, error vs n and vs ε, with the convex squared-loss
 run as a reference (whose Theorem 2 rate is faster, matching the
-measured ordering).
+measured ordering).  Catalog entry: ``ext_robust_regression``.
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, assert_trending_down, emit_table, run_sweep
-from _scenarios import RobustRegressionExtension, _l1_linear_data
-from repro import BiweightLoss, DistributionSpec, HeavyTailedDPFW, L1Ball
-
-D = 40
-N_SWEEP = [20_000, 60_000] if FULL else [4000, 16_000]
-EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
-# Symmetric zero-mean heavy noise (Assumption 2 wants symmetric xi):
-NOISE = DistributionSpec("student_t", {"df": 3.0})
-BIWEIGHT = BiweightLoss(c=2.0)
+from _common import FULL, assert_finite, assert_trending_down, \
+    run_catalog_bench
+from _scenarios import _l1_linear_data
+from repro import BiweightLoss, HeavyTailedDPFW, L1Ball
+from repro.experiments import bench
 
 
 def test_ext_robust_regression(benchmark):
-    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+    definition = bench("ext_robust_regression", full=FULL)
+    point = definition.panels[0].point
+    n0 = definition.panels[0].sweep_values[0]
+    data0 = _l1_linear_data(n0, point.d, point.features, point.noise,
                             np.random.default_rng(0))
-    solver0 = HeavyTailedDPFW(BIWEIGHT, L1Ball(D), epsilon=1.0, tau=3.0)
+    solver0 = HeavyTailedDPFW(BiweightLoss(c=point.biweight_c),
+                              L1Ball(point.d), epsilon=1.0, tau=point.tau)
     benchmark.pedantic(
         lambda: solver0.fit(data0.features, data0.labels,
                             rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point = RobustRegressionExtension(features=FEATURES, noise=NOISE, d=D,
-                                      sweep="n", eps_fixed=1.0)
-    table = run_sweep(point, N_SWEEP, ["biweight", "squared"], seed=300)
-    emit_table("ext_robust_regression",
-               "Extension (Thm 3): parameter error vs n, biweight vs squared "
-               "loss under t(3) noise", "n", N_SWEEP, table)
+    table, table_eps = run_catalog_bench("ext_robust_regression")
     assert_finite(table)
     assert_trending_down(table, slack=0.4)
-
-    point_eps = RobustRegressionExtension(features=FEATURES, noise=NOISE,
-                                          d=D, sweep="epsilon",
-                                          n_fixed=N_SWEEP[0])
-    table_eps = run_sweep(point_eps, EPS_SWEEP, ["biweight"], seed=301)
-    emit_table("ext_robust_regression",
-               "Extension (Thm 3): parameter error vs eps (biweight loss)",
-               "epsilon", EPS_SWEEP, table_eps)
     assert_finite(table_eps)
     assert_trending_down(table_eps, slack=0.4)

@@ -4,41 +4,35 @@ Compares Algorithm 1's two gradient engines on data whose gradients only
 have a finite ~1.4-th moment (Pareto(1.45) features): the paper's
 smoothed Catoni estimator (analysed under *second* moments) against the
 shrink-then-average extension (``gradient_estimator="truncated"``),
-which is the natural estimator for the weak-moment regime.
+which is the natural estimator for the weak-moment regime.  Catalog
+entry: ``ext_weak_moments``.
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, assert_trending_down, emit_table, run_sweep
-from _scenarios import WeakMomentsExtension, _l1_linear_data
-from repro import DistributionSpec, HeavyTailedDPFW, L1Ball, SquaredLoss
-
-D = 30
-N_SWEEP = [20_000, 80_000] if FULL else [5000, 20_000]
-LOSS = SquaredLoss()
-# Pareto(1.45) features: E|x|^{1.4} finite, E x^2 infinite — squarely in
-# the open-problem regime where Assumption 1 fails.
-FEATURES = DistributionSpec("pareto", {"tail_index": 1.45})
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
+from _common import FULL, assert_finite, assert_trending_down, \
+    run_catalog_bench
+from _scenarios import _l1_linear_data
+from repro import HeavyTailedDPFW, L1Ball, SquaredLoss
+from repro.experiments import bench
 
 
 def test_ext_weak_moments(benchmark):
-    data0 = _l1_linear_data(N_SWEEP[0], D, FEATURES, NOISE,
+    definition = bench("ext_weak_moments", full=FULL)
+    point = definition.panels[0].point
+    n0 = definition.panels[0].sweep_values[0]
+    data0 = _l1_linear_data(n0, point.d, point.features, point.noise,
                             np.random.default_rng(0))
-    solver0 = HeavyTailedDPFW(LOSS, L1Ball(D), epsilon=1.0, tau=3.0,
-                              gradient_estimator="truncated", moment_order=1.4)
+    solver0 = HeavyTailedDPFW(SquaredLoss(), L1Ball(point.d), epsilon=1.0,
+                              tau=point.tau, gradient_estimator="truncated",
+                              moment_order=point.moment_order)
     benchmark.pedantic(
         lambda: solver0.fit(data0.features, data0.labels,
                             rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point = WeakMomentsExtension(features=FEATURES, noise=NOISE, d=D,
-                                 moment_order=1.4)
-    table = run_sweep(point, N_SWEEP, ["truncated(v=0.4)", "catoni"], seed=310)
-    emit_table("ext_weak_moments",
-               "Extension: l1 parameter error under infinite-variance "
-               "features (Pareto 1.45)", "n", N_SWEEP, table)
+    table, = run_catalog_bench("ext_weak_moments")
     assert_finite(table)
     # Both engines must remain bounded (the l1 ball caps the damage) and
     # the truncated engine must trend down with n.

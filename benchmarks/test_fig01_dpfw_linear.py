@@ -5,6 +5,10 @@ Paper setup: ``x ~ Lognormal(0, 0.6)``, label noise ``N(0, 0.1)``,
 (a) excess risk vs ε for several d at fixed n;
 (b) excess risk vs n for several d at ε = 1;
 (c) private vs non-private risk gap vs n at fixed d.
+
+The panel grids/seeds/titles live in the catalog entry
+``fig01_dpfw_linear`` (`repro.experiments.catalog`); this file times
+one representative fit and asserts the figure's qualitative shapes.
 """
 
 import numpy as np
@@ -14,66 +18,38 @@ from _common import (
     assert_dimension_insensitive,
     assert_finite,
     assert_trending_down,
-    emit_table,
-    run_sweep,
+    run_catalog_bench,
 )
-from _scenarios import (
-    L1LinearPanel,
-    L1PrivateVsNonprivatePanel,
-    _fit_l1_private,
-    _l1_linear_data,
-)
-from repro import DistributionSpec
-
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
-
-D_SERIES = [200, 400, 800] if FULL else [20, 80]
-N_FIXED = 10_000 if FULL else 3000
-EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
-N_SWEEP = [10_000, 30_000, 90_000] if FULL else [2000, 4000, 8000]
-D_FIXED = 400 if FULL else 40
+from _scenarios import _fit_l1_private, _l1_linear_data
+from repro.experiments import bench
 
 
 def test_fig01_dpfw_linear(benchmark):
+    definition = bench("fig01_dpfw_linear", full=FULL)
+    panel_a_def = definition.panels[0]
+    point = panel_a_def.point
     # Timing sample: one representative private fit.
-    timing_rng = np.random.default_rng(0)
-    timing_data = _l1_linear_data(N_FIXED, D_SERIES[0], FEATURES, NOISE,
-                                  timing_rng)
+    timing_data = _l1_linear_data(point.n_fixed, panel_a_def.series_values[0],
+                                  point.features, point.noise,
+                                  np.random.default_rng(0))
     benchmark.pedantic(
-        lambda: _fit_l1_private("dpfw", timing_data, 1.0, 5.0, 1e-5,
-                                np.random.default_rng(1)),
+        lambda: _fit_l1_private(point.solver, timing_data, 1.0, point.tau,
+                                point.delta, np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
+    panel_a, panel_b, panel_c = run_catalog_bench("fig01_dpfw_linear")
+
     # Panel (a): error vs epsilon, one curve per dimension.
-    point_a = L1LinearPanel(solver="dpfw", features=FEATURES, noise=NOISE,
-                            sweep="epsilon", n_fixed=N_FIXED)
-    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=10)
-    emit_table("fig01", "Figure 1(a): excess risk vs epsilon "
-               f"(n={N_FIXED}, linear, lognormal x)", "epsilon", EPS_SWEEP,
-               panel_a)
     assert_finite(panel_a)
     assert_trending_down(panel_a, slack=0.3)
     assert_dimension_insensitive(panel_a)
 
     # Panel (b): error vs n at eps = 1.
-    point_b = L1LinearPanel(solver="dpfw", features=FEATURES, noise=NOISE,
-                            sweep="n", eps_fixed=1.0)
-    panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=11)
-    emit_table("fig01", "Figure 1(b): excess risk vs n (eps=1)", "n", N_SWEEP,
-               panel_b)
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.3)
 
-    # Panel (c): private vs non-private vs n at fixed d.
-    point_c = L1PrivateVsNonprivatePanel(solver="dpfw", features=FEATURES,
-                                         noise=NOISE, d_fixed=D_FIXED)
-    panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
-                        seed=12)
-    emit_table("fig01", f"Figure 1(c): private vs non-private (d={D_FIXED})",
-               "n", N_SWEEP, panel_c)
+    # Panel (c): non-private must dominate the private fit at every n.
     assert_finite(panel_c)
-    # Non-private must dominate the private fit at every n.
-    for i in range(len(N_SWEEP)):
+    for i in range(len(definition.panels[2].sweep_values)):
         assert panel_c["non-private"][i] <= panel_c["private(eps=1)"][i] + 1e-6

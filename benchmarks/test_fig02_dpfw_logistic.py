@@ -2,80 +2,53 @@
 
 Paper setup: ``x ~ Lognormal(0, 0.6)``, noiseless labels
 ``y = sign(sigmoid(<x, w*>) - 0.5)``; same three panels as Figure 1.
+Grids/seeds/trial counts live in the catalog entry
+``fig02_dpfw_logistic`` (panel (a) uses 5 trials and a wider ε range,
+panel (b) at least 6 — the noiseless-label logistic excess is small and
+noisy at bench scale).
 """
 
 import numpy as np
 
 from _common import (
     FULL,
-    N_TRIALS,
     assert_dimension_insensitive,
     assert_finite,
     assert_trending_down,
-    emit_table,
-    run_sweep,
+    run_catalog_bench,
 )
-from _scenarios import (
-    LOGISTIC,
-    LogisticDPFWPanel,
-    LogisticPrivateVsNonprivatePanel,
-    _logistic_l1_data,
-)
-from repro import DistributionSpec, HeavyTailedDPFW, L1Ball
-
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
-
-D_SERIES = [200, 400, 800] if FULL else [20, 80]
-N_FIXED = 10_000 if FULL else 3000
-# Wider eps range + extra trials: with noiseless sign labels the
-# logistic excess is small and noisy, so the trend needs more span.
-EPS_SWEEP = [0.25, 1.0, 4.0, 16.0]
-N_SWEEP = [10_000, 30_000, 90_000] if FULL else [2000, 4000, 8000]
-D_FIXED = 400 if FULL else 40
-
-
-def _fit_private(data, epsilon, rng):
-    solver = HeavyTailedDPFW(LOGISTIC, L1Ball(data.dimension),
-                             epsilon=epsilon, tau=3.0,
-                             schedule_mode="theory")
-    return solver.fit(data.features, data.labels, rng=rng).w
+from _scenarios import LOGISTIC, _logistic_l1_data
+from repro import HeavyTailedDPFW, L1Ball
+from repro.experiments import bench
 
 
 def test_fig02_dpfw_logistic(benchmark):
-    timing_data = _logistic_l1_data(N_FIXED, D_SERIES[0], FEATURES,
-                                    np.random.default_rng(0))
+    definition = bench("fig02_dpfw_logistic", full=FULL)
+    panel_a_def = definition.panels[0]
+    point = panel_a_def.point
+    timing_data = _logistic_l1_data(point.n_fixed,
+                                    panel_a_def.series_values[0],
+                                    point.features, np.random.default_rng(0))
+    solver = HeavyTailedDPFW(LOGISTIC, L1Ball(timing_data.dimension),
+                             epsilon=1.0, tau=point.tau,
+                             schedule_mode="theory")
     benchmark.pedantic(
-        lambda: _fit_private(timing_data, 1.0, np.random.default_rng(1)),
+        lambda: solver.fit(timing_data.features, timing_data.labels,
+                           rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point_a = LogisticDPFWPanel(features=FEATURES, sweep="epsilon",
-                                n_fixed=N_FIXED)
-    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=20, n_trials=5)
-    emit_table("fig02", "Figure 2(a): excess logistic risk vs epsilon "
-               f"(n={N_FIXED})", "epsilon", EPS_SWEEP, panel_a)
+    panel_a, panel_b, panel_c = run_catalog_bench("fig02_dpfw_logistic")
+
     assert_finite(panel_a)
     assert_trending_down(panel_a, slack=0.3)
     assert_dimension_insensitive(panel_a)
 
-    # At bench-scale n (<= 8000) the logistic excess-risk-vs-n curve is
-    # essentially flat — the paper's visible decrease needs n up to 9e4
-    # — and a 3-trial mean swings by ~1.4x on seed luck alone.  Use more
-    # trials to tame the variance and assert "not clearly trending up".
-    point_b = LogisticDPFWPanel(features=FEATURES, sweep="n", eps_fixed=1.0)
-    panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=21,
-                        n_trials=max(N_TRIALS, 6))
-    emit_table("fig02", "Figure 2(b): excess logistic risk vs n (eps=1)",
-               "n", N_SWEEP, panel_b)
+    # At bench-scale n the curve is essentially flat (the paper's
+    # visible decrease needs n up to 9e4): assert "not clearly up".
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    point_c = LogisticPrivateVsNonprivatePanel(features=FEATURES,
-                                               d_fixed=D_FIXED)
-    panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
-                        seed=22)
-    emit_table("fig02", f"Figure 2(c): private vs non-private (d={D_FIXED})",
-               "n", N_SWEEP, panel_c)
     assert_finite(panel_c)
-    for i in range(len(N_SWEEP)):
+    for i in range(len(definition.panels[2].sweep_values)):
         assert panel_c["non-private"][i] <= panel_c["private(eps=1)"][i] + 1e-6

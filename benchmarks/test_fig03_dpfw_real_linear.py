@@ -6,37 +6,30 @@ Frank–Wolfe.  We run the identical pipeline on the synthetic stand-ins
 (see DESIGN.md §4) at subsampled row counts.  The paper's own
 observation — real-data curves are noticeably less stable than the
 synthetic ones — is visible here too, so the shape assertions are the
-loosest of the suite.
+loosest of the suite.  One catalog panel per dataset
+(``fig03_dpfw_real_linear``).
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, emit_table, run_sweep
-from _scenarios import RealDataPanel
+from _common import FULL, assert_finite, run_catalog_bench
 from repro import HeavyTailedDPFW, L1Ball, SquaredLoss, load_real_like
-
-LOSS = SquaredLoss()
-N_SWEEP = [20_000, 40_000, 60_000] if FULL else [1500, 3000, 6000]
-EPS_SERIES = [0.5, 1.0, 2.0]
+from repro.experiments import bench
 
 
 def test_fig03_dpfw_real_linear(benchmark):
-    timing_rng = np.random.default_rng(0)
-    data = load_real_like("blog", rng=timing_rng, n_samples=N_SWEEP[0])
-    solver = HeavyTailedDPFW(LOSS, L1Ball(data.dimension), epsilon=1.0,
-                             tau=10.0)
+    definition = bench("fig03_dpfw_real_linear", full=FULL)
+    n0 = definition.panels[0].sweep_values[0]
+    data = load_real_like("blog", rng=np.random.default_rng(0), n_samples=n0)
+    solver = HeavyTailedDPFW(SquaredLoss(), L1Ball(data.dimension),
+                             epsilon=1.0, tau=10.0)
     benchmark.pedantic(
         lambda: solver.fit(data.features, data.labels,
                            rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    for dataset in ("blog", "twitter"):
-        point = RealDataPanel(dataset=dataset, loss="squared", tau=10.0)
-        panel = run_sweep(point, N_SWEEP, EPS_SERIES,
-                          seed=30 + sum(ord(c) for c in dataset) % 7)
-        emit_table("fig03", f"Figure 3 ({dataset}): excess risk vs n per eps",
-                   "n", N_SWEEP, panel)
+    for panel in run_catalog_bench("fig03_dpfw_real_linear"):
         assert_finite(panel)
         # Excess risk vs the (approximate) non-private optimum is
         # non-negative up to optimisation/evaluation slack.

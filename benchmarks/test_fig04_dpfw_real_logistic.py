@@ -2,37 +2,31 @@
 logistic regression.
 
 Same protocol as Figure 3 with the logistic loss; labels of the
-stand-ins are ±1 from a planted logistic model.
+stand-ins are ±1 from a planted logistic model.  One catalog panel per
+dataset (``fig04_dpfw_real_logistic``).
 """
 
 import numpy as np
 
-from _common import FULL, assert_finite, emit_table, run_sweep
-from _scenarios import RealDataPanel
+from _common import FULL, assert_finite, run_catalog_bench
 from repro import HeavyTailedDPFW, L1Ball, LogisticLoss, load_real_like
-
-LOSS = LogisticLoss()
-N_SWEEP = [20_000, 40_000, 60_000] if FULL else [1500, 3000, 6000]
-EPS_SERIES = [0.5, 1.0, 2.0]
+from repro.experiments import bench
 
 
 def test_fig04_dpfw_real_logistic(benchmark):
-    timing_rng = np.random.default_rng(0)
-    data = load_real_like("winnipeg", rng=timing_rng, n_samples=N_SWEEP[0])
-    solver = HeavyTailedDPFW(LOSS, L1Ball(data.dimension), epsilon=1.0,
-                             tau=10.0)
+    definition = bench("fig04_dpfw_real_logistic", full=FULL)
+    n0 = definition.panels[0].sweep_values[0]
+    data = load_real_like("winnipeg", rng=np.random.default_rng(0),
+                          n_samples=n0)
+    solver = HeavyTailedDPFW(LogisticLoss(), L1Ball(data.dimension),
+                             epsilon=1.0, tau=10.0)
     benchmark.pedantic(
         lambda: solver.fit(data.features, data.labels,
                            rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    for dataset in ("winnipeg", "year_prediction"):
-        point = RealDataPanel(dataset=dataset, loss="logistic", tau=10.0)
-        panel = run_sweep(point, N_SWEEP, EPS_SERIES,
-                          seed=40 + sum(ord(c) for c in dataset) % 7)
-        emit_table("fig04", f"Figure 4 ({dataset}): excess logistic risk vs n",
-                   "n", N_SWEEP, panel)
+    for panel in run_catalog_bench("fig04_dpfw_real_logistic"):
         assert_finite(panel)
         for values in panel.values():
             assert min(values) > -0.05

@@ -3,6 +3,8 @@
 Paper setup: ``x ~ Lognormal(0, 0.6)``, noise ``N(0, 0.1)``.  Panels:
 (a) excess risk vs ε per d (n fixed); (b) excess risk vs n per d
 (ε = 1); (c) private vs non-private vs n at d fixed.
+
+Grids/seeds/titles live in the catalog entry ``fig05_lasso_lognormal``.
 """
 
 import numpy as np
@@ -12,61 +14,34 @@ from _common import (
     assert_dimension_insensitive,
     assert_finite,
     assert_trending_down,
-    emit_table,
-    run_sweep,
+    run_catalog_bench,
 )
-from _scenarios import (
-    L1LinearPanel,
-    L1PrivateVsNonprivatePanel,
-    _fit_l1_private,
-    _l1_linear_data,
-)
-from repro import DistributionSpec
-
-FEATURES = DistributionSpec("lognormal", {"sigma": 0.6})
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
-
-D_SERIES = [100, 200, 400] if FULL else [20, 80]
-N_FIXED = 10_000 if FULL else 4000
-EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
-N_SWEEP = [10_000, 30_000, 90_000] if FULL else [4000, 10_000, 24_000]
-D_FIXED = 200 if FULL else 40
-DELTA = 1e-5
+from _scenarios import _fit_l1_private, _l1_linear_data
+from repro.experiments import bench
 
 
 def test_fig05_lasso_lognormal(benchmark):
-    timing_data = _l1_linear_data(N_FIXED, D_SERIES[0], FEATURES, NOISE,
+    definition = bench("fig05_lasso_lognormal", full=FULL)
+    panel_a_def = definition.panels[0]
+    point = panel_a_def.point
+    timing_data = _l1_linear_data(point.n_fixed, panel_a_def.series_values[0],
+                                  point.features, point.noise,
                                   np.random.default_rng(0))
     benchmark.pedantic(
-        lambda: _fit_l1_private("lasso", timing_data, 1.0, 5.0, DELTA,
-                                np.random.default_rng(1)),
+        lambda: _fit_l1_private(point.solver, timing_data, 1.0, point.tau,
+                                point.delta, np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point_a = L1LinearPanel(solver="lasso", features=FEATURES, noise=NOISE,
-                            sweep="epsilon", n_fixed=N_FIXED, delta=DELTA)
-    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=50)
-    emit_table("fig05", f"Figure 5(a): LASSO excess risk vs eps (n={N_FIXED})",
-               "epsilon", EPS_SWEEP, panel_a)
+    panel_a, panel_b, panel_c = run_catalog_bench("fig05_lasso_lognormal")
+
     assert_finite(panel_a)
     assert_trending_down(panel_a, slack=0.5)  # paper notes Alg 2 is unstable
     assert_dimension_insensitive(panel_a, factor=6.0)
 
-    point_b = L1LinearPanel(solver="lasso", features=FEATURES, noise=NOISE,
-                            sweep="n", eps_fixed=1.0, delta=DELTA)
-    panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=51)
-    emit_table("fig05", "Figure 5(b): LASSO excess risk vs n (eps=1)",
-               "n", N_SWEEP, panel_b)
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    point_c = L1PrivateVsNonprivatePanel(solver="lasso", features=FEATURES,
-                                         noise=NOISE, d_fixed=D_FIXED,
-                                         delta=DELTA)
-    panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
-                        seed=52)
-    emit_table("fig05", f"Figure 5(c): private vs non-private (d={D_FIXED})",
-               "n", N_SWEEP, panel_c)
     assert_finite(panel_c)
-    for i in range(len(N_SWEEP)):
+    for i in range(len(definition.panels[2].sweep_values)):
         assert panel_c["non-private"][i] <= panel_c["private(eps=1)"][i] + 1e-6

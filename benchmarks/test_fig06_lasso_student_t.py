@@ -2,7 +2,8 @@
 
 Paper setup: ``x ~ t(10)`` (polynomial tails, finite fourth moment —
 exactly Assumption 3's regime), noise ``N(0, 0.1)``.  Same panels as
-Figure 5.
+Figure 5; grids/seeds/titles live in the catalog entry
+``fig06_lasso_student_t``.
 """
 
 import numpy as np
@@ -12,61 +13,34 @@ from _common import (
     assert_dimension_insensitive,
     assert_finite,
     assert_trending_down,
-    emit_table,
-    run_sweep,
+    run_catalog_bench,
 )
-from _scenarios import (
-    L1LinearPanel,
-    L1PrivateVsNonprivatePanel,
-    _fit_l1_private,
-    _l1_linear_data,
-)
-from repro import DistributionSpec
-
-FEATURES = DistributionSpec("student_t", {"df": 10.0})
-NOISE = DistributionSpec("gaussian", {"scale": 0.1})
-
-D_SERIES = [100, 200, 400] if FULL else [20, 80]
-N_FIXED = 100_000 if FULL else 4000
-EPS_SWEEP = [0.5, 1.0, 2.0, 4.0]
-N_SWEEP = [20_000, 60_000, 180_000] if FULL else [4000, 10_000, 24_000]
-D_FIXED = 200 if FULL else 40
-DELTA = 1e-5
+from _scenarios import _fit_l1_private, _l1_linear_data
+from repro.experiments import bench
 
 
 def test_fig06_lasso_student_t(benchmark):
-    timing_data = _l1_linear_data(N_FIXED, D_SERIES[0], FEATURES, NOISE,
+    definition = bench("fig06_lasso_student_t", full=FULL)
+    panel_a_def = definition.panels[0]
+    point = panel_a_def.point
+    timing_data = _l1_linear_data(point.n_fixed, panel_a_def.series_values[0],
+                                  point.features, point.noise,
                                   np.random.default_rng(0))
     benchmark.pedantic(
-        lambda: _fit_l1_private("lasso", timing_data, 1.0, 5.0, DELTA,
-                                np.random.default_rng(1)),
+        lambda: _fit_l1_private(point.solver, timing_data, 1.0, point.tau,
+                                point.delta, np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
 
-    point_a = L1LinearPanel(solver="lasso", features=FEATURES, noise=NOISE,
-                            sweep="epsilon", n_fixed=N_FIXED, delta=DELTA)
-    panel_a = run_sweep(point_a, EPS_SWEEP, D_SERIES, seed=60)
-    emit_table("fig06", "Figure 6(a): LASSO (t-dist) excess risk vs eps",
-               "epsilon", EPS_SWEEP, panel_a)
+    panel_a, panel_b, panel_c = run_catalog_bench("fig06_lasso_student_t")
+
     assert_finite(panel_a)
     assert_trending_down(panel_a, slack=0.5)
     assert_dimension_insensitive(panel_a, factor=6.0)
 
-    point_b = L1LinearPanel(solver="lasso", features=FEATURES, noise=NOISE,
-                            sweep="n", eps_fixed=1.0, delta=DELTA)
-    panel_b = run_sweep(point_b, N_SWEEP, D_SERIES, seed=61)
-    emit_table("fig06", "Figure 6(b): LASSO (t-dist) excess risk vs n (eps=1)",
-               "n", N_SWEEP, panel_b)
     assert_finite(panel_b)
     assert_trending_down(panel_b, slack=0.5)
 
-    point_c = L1PrivateVsNonprivatePanel(solver="lasso", features=FEATURES,
-                                         noise=NOISE, d_fixed=D_FIXED,
-                                         delta=DELTA)
-    panel_c = run_sweep(point_c, N_SWEEP, ["private(eps=1)", "non-private"],
-                        seed=62)
-    emit_table("fig06", f"Figure 6(c): private vs non-private (d={D_FIXED})",
-               "n", N_SWEEP, panel_c)
     assert_finite(panel_c)
-    for i in range(len(N_SWEEP)):
+    for i in range(len(definition.panels[2].sweep_values)):
         assert panel_c["non-private"][i] <= panel_c["private(eps=1)"][i] + 1e-6

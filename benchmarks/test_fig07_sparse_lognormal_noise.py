@@ -2,23 +2,25 @@
 
 Paper setup: ``x ~ N(0, 5)``, noise ``Lognormal(0, 0.5)``, n = 5e4,
 s* = 20; panels (a) error vs ε per d, (b) error vs n per d,
-(c) error vs s* per d.
+(c) error vs s* per d — all from the catalog entry
+``fig07_sparse_lognormal_noise``.
 """
 
 import numpy as np
 
-from _sparse_figs import linear_sparse_panels
-from repro import DistributionSpec, HeavyTailedSparseLinearRegression, \
-    make_linear_data, sparse_truth
-
-FEATURES = DistributionSpec("gaussian", {"scale": 2.24})  # N(0, 5): var 5
-NOISE = DistributionSpec("lognormal", {"sigma": 0.5})
+from _common import FULL, run_catalog_bench
+from _sparse_figs import assert_sparse_panels
+from repro import HeavyTailedSparseLinearRegression, make_linear_data, \
+    sparse_truth
+from repro.experiments import bench
 
 
 def test_fig07_sparse_lognormal_noise(benchmark):
+    point = bench("fig07_sparse_lognormal_noise", full=FULL).panels[0].point
     rng = np.random.default_rng(0)
     w_star = sparse_truth(50, 5, rng, norm_bound=0.5)
-    data = make_linear_data(8000, w_star, FEATURES, NOISE, rng=rng)
+    data = make_linear_data(8000, w_star, point.features, point.noise,
+                            rng=rng)
     solver = HeavyTailedSparseLinearRegression(sparsity=5, epsilon=1.0,
                                                delta=1e-5)
     benchmark.pedantic(
@@ -26,4 +28,4 @@ def test_fig07_sparse_lognormal_noise(benchmark):
                            rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
-    linear_sparse_panels("fig07", NOISE, FEATURES, seed=70)
+    assert_sparse_panels(run_catalog_bench("fig07_sparse_lognormal_noise"))

@@ -1,23 +1,24 @@
 """Figure 9 — Algorithm 3 with Gaussian features and log-gamma noise.
 
 Paper setup: ``x ~ N(0, 5)``, noise log-gamma with shape c = 0.5
-(strongly left-skewed).
+(strongly left-skewed); catalog entry ``fig09_sparse_loggamma_noise``.
 """
 
 import numpy as np
 
-from _sparse_figs import linear_sparse_panels
-from repro import DistributionSpec, HeavyTailedSparseLinearRegression, \
-    make_linear_data, sparse_truth
-
-FEATURES = DistributionSpec("gaussian", {"scale": 2.24})
-NOISE = DistributionSpec("log_gamma", {"c": 0.5})
+from _common import FULL, run_catalog_bench
+from _sparse_figs import assert_sparse_panels
+from repro import HeavyTailedSparseLinearRegression, make_linear_data, \
+    sparse_truth
+from repro.experiments import bench
 
 
 def test_fig09_sparse_loggamma_noise(benchmark):
+    point = bench("fig09_sparse_loggamma_noise", full=FULL).panels[0].point
     rng = np.random.default_rng(0)
     w_star = sparse_truth(50, 5, rng, norm_bound=0.5)
-    data = make_linear_data(8000, w_star, FEATURES, NOISE, rng=rng)
+    data = make_linear_data(8000, w_star, point.features, point.noise,
+                            rng=rng)
     solver = HeavyTailedSparseLinearRegression(sparsity=5, epsilon=1.0,
                                                delta=1e-5)
     benchmark.pedantic(
@@ -25,4 +26,4 @@ def test_fig09_sparse_loggamma_noise(benchmark):
                            rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
-    linear_sparse_panels("fig09", NOISE, FEATURES, seed=90)
+    assert_sparse_panels(run_catalog_bench("fig09_sparse_loggamma_noise"))

@@ -4,38 +4,35 @@ Gaussian features.
 Paper setup: ``x ~ N(0, 5)``, latent noise from the logistic
 distribution ``(u, s) = (0, 0.5)``, n = 8000, s* = 20; loss is the
 ℓ2-regularised logistic loss (the canonical Assumption 4 example).
+Catalog entry: ``fig10_sparse_logistic_gaussian``.
 """
 
 import numpy as np
 
-from _sparse_figs import logistic_sparse_panels
+from _common import FULL, run_catalog_bench
+from _sparse_figs import assert_sparse_panels
 from repro import (
-    DistributionSpec,
     HeavyTailedSparseOptimizer,
     L2Regularized,
     LogisticLoss,
     make_logistic_data,
     sparse_truth,
 )
-
-FEATURES = DistributionSpec("gaussian", {"scale": 2.24})
-NOISE = DistributionSpec("logistic", {"scale": 0.5})
-
-
-def _loss():
-    return L2Regularized(LogisticLoss(), 0.01)
+from repro.experiments import bench
 
 
 def test_fig10_sparse_logistic_gaussian(benchmark):
+    point = bench("fig10_sparse_logistic_gaussian", full=FULL).panels[0].point
     rng = np.random.default_rng(0)
     w_star = sparse_truth(50, 5, rng, norm_bound=0.5)
-    data = make_logistic_data(6000, w_star, FEATURES, NOISE, rng=rng)
-    solver = HeavyTailedSparseOptimizer(_loss(), sparsity=5, epsilon=1.0,
-                                        delta=1e-5, tau=6.0)
+    data = make_logistic_data(6000, w_star, point.features, point.noise,
+                              rng=rng)
+    solver = HeavyTailedSparseOptimizer(
+        L2Regularized(LogisticLoss(), point.l2_penalty), sparsity=5,
+        epsilon=1.0, delta=1e-5, tau=point.tau)
     benchmark.pedantic(
         lambda: solver.fit(data.features, data.labels,
                            rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
-    logistic_sparse_panels("fig10", FEATURES, NOISE, seed=100,
-                           tau=6.0, l2_penalty=0.01)
+    assert_sparse_panels(run_catalog_bench("fig10_sparse_logistic_gaussian"))

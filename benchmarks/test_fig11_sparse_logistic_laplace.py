@@ -2,38 +2,35 @@
 Laplace features.
 
 Paper setup: ``x ~ Laplace(5)``, latent noise log-gamma with c = 0.5.
+Catalog entry: ``fig11_sparse_logistic_laplace``.
 """
 
 import numpy as np
 
-from _sparse_figs import logistic_sparse_panels
+from _common import FULL, run_catalog_bench
+from _sparse_figs import assert_sparse_panels
 from repro import (
-    DistributionSpec,
     HeavyTailedSparseOptimizer,
     L2Regularized,
     LogisticLoss,
     make_logistic_data,
     sparse_truth,
 )
-
-FEATURES = DistributionSpec("laplace", {"scale": 5.0})
-NOISE = DistributionSpec("log_gamma", {"c": 0.5})
-
-
-def _loss():
-    return L2Regularized(LogisticLoss(), 0.01)
+from repro.experiments import bench
 
 
 def test_fig11_sparse_logistic_laplace(benchmark):
+    point = bench("fig11_sparse_logistic_laplace", full=FULL).panels[0].point
     rng = np.random.default_rng(0)
     w_star = sparse_truth(50, 5, rng, norm_bound=0.5)
-    data = make_logistic_data(6000, w_star, FEATURES, NOISE, rng=rng)
-    solver = HeavyTailedSparseOptimizer(_loss(), sparsity=5, epsilon=1.0,
-                                        delta=1e-5, tau=30.0)
+    data = make_logistic_data(6000, w_star, point.features, point.noise,
+                              rng=rng)
+    solver = HeavyTailedSparseOptimizer(
+        L2Regularized(LogisticLoss(), point.l2_penalty), sparsity=5,
+        epsilon=1.0, delta=1e-5, tau=point.tau)
     benchmark.pedantic(
         lambda: solver.fit(data.features, data.labels,
                            rng=np.random.default_rng(1)),
         rounds=1, iterations=1,
     )
-    logistic_sparse_panels("fig11", FEATURES, NOISE, seed=110,
-                           tau=30.0, l2_penalty=0.01)
+    assert_sparse_panels(run_catalog_bench("fig11_sparse_logistic_laplace"))

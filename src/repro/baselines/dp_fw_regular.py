@@ -101,3 +101,21 @@ class RegularDPFrankWolfe:
                       "lipschitz_bound": self.lipschitz_bound,
                       "per_iteration_epsilon": eps_step},
         )
+
+
+from ..geometry.polytope import L1Ball
+from ..losses.base import resolve_loss
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("regular_dp_fw")
+def _fit_regular_dp_fw(data, rng: SeedLike = None, *, loss="squared",
+                       epsilon: float = 1.0, delta: float = 1e-5,
+                       lipschitz_bound: float = 1.0, n_iterations: int = 50,
+                       l1_radius: float = 1.0) -> np.ndarray:
+    """Registry adapter: clipped-gradient DP Frank–Wolfe (Talwar et al.)."""
+    solver = RegularDPFrankWolfe(
+        resolve_loss(loss), L1Ball(data.dimension, radius=l1_radius),
+        epsilon=epsilon, delta=delta, lipschitz_bound=lipschitz_bound,
+        n_iterations=n_iterations)
+    return solver.fit(data.features, data.labels, rng=rng).w

@@ -110,3 +110,28 @@ class DPSGD:
             metadata={"algorithm": "dp_sgd", "clip_norm": self.clip_norm,
                       "sigma": sigma},
         )
+
+
+from ..geometry.projections import project_l1_ball
+from ..losses.base import resolve_loss
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("dp_sgd")
+def _fit_dp_sgd(data, rng: SeedLike = None, *, loss="squared",
+                epsilon: float = 1.0, delta: float = 1e-5,
+                clip_norm: float = 1.0, learning_rate: float = 0.1,
+                n_iterations: int = 50, batch_size: Optional[int] = None,
+                l1_radius: Optional[float] = None) -> np.ndarray:
+    """Registry adapter: gradient-clipping DP-SGD (Abadi et al.).
+
+    ``l1_radius`` (when given) adds per-step projection onto the ℓ1
+    ball, matching the constrained experiments of the ablations.
+    """
+    projection = (None if l1_radius is None
+                  else lambda v: project_l1_ball(v, l1_radius))
+    solver = DPSGD(resolve_loss(loss), epsilon=epsilon, delta=delta,
+                   clip_norm=clip_norm, learning_rate=learning_rate,
+                   n_iterations=n_iterations, batch_size=batch_size,
+                   projection=projection)
+    return solver.fit(data.features, data.labels, rng=rng).w

@@ -68,3 +68,23 @@ class FrankWolfe:
             self.iterates_ = iterates
             self.risks_ = risks
         return w
+
+
+from ..geometry.polytope import L1Ball
+from ..losses.base import resolve_loss
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("frank_wolfe")
+def _fit_frank_wolfe(data, rng=None, *, loss="squared",
+                     n_iterations: int = 100,
+                     l1_radius: float = 1.0) -> np.ndarray:
+    """Registry adapter: non-private Frank–Wolfe on the ℓ1 ball.
+
+    ``rng`` is accepted for the common solver signature and ignored —
+    the method is deterministic.
+    """
+    solver = FrankWolfe(resolve_loss(loss),
+                        L1Ball(data.dimension, radius=l1_radius),
+                        n_iterations=n_iterations)
+    return solver.fit(data.features, data.labels)

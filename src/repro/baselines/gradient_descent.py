@@ -58,3 +58,20 @@ class GradientDescent:
             self.iterates_ = iterates
             self.risks_ = risks
         return w
+
+
+from ..losses.base import resolve_loss
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("gradient_descent")
+def _fit_gradient_descent(data, rng=None, *, loss="squared",
+                          learning_rate: float = 0.1,
+                          n_iterations: int = 200) -> np.ndarray:
+    """Registry adapter: plain (non-private) gradient descent.
+
+    ``rng`` is accepted for the common solver signature and ignored.
+    """
+    solver = GradientDescent(resolve_loss(loss), learning_rate=learning_rate,
+                             n_iterations=n_iterations)
+    return solver.fit(data.features, data.labels)

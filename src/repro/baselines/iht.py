@@ -65,3 +65,21 @@ class IterativeHardThresholding:
             self.iterates_ = iterates
             self.risks_ = risks
         return w
+
+
+from ..losses.base import resolve_loss
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("iht")
+def _fit_iht(data, rng=None, *, loss="squared", sparsity: int,
+             learning_rate: float = 0.5, n_iterations: int = 100,
+             project_radius: Optional[float] = None) -> np.ndarray:
+    """Registry adapter: non-private iterative hard thresholding.
+
+    ``rng`` is accepted for the common solver signature and ignored.
+    """
+    solver = IterativeHardThresholding(
+        resolve_loss(loss), sparsity=sparsity, learning_rate=learning_rate,
+        n_iterations=n_iterations, project_radius=project_radius)
+    return solver.fit(data.features, data.labels)

@@ -1,0 +1,256 @@
+"""The ``python -m repro`` command line: run, list, and cache maintenance.
+
+Subcommands
+-----------
+
+``run <scenario-or-spec.toml>``
+    Run a catalog bench by name (``python -m repro run
+    fig05_lasso_lognormal`` reproduces the committed
+    ``benchmarks/results`` table bit-identically) or a declarative
+    TOML :class:`~repro.evaluation.spec.ExperimentSpec` by path.
+    ``--executor``/``--cache``/``--trials`` control execution exactly
+    like the bench environment knobs.
+
+``list``
+    Every registered component (solvers, losses, distributions,
+    datasets, data generators, estimators, metrics) and every catalog
+    scenario.
+
+``cache stats`` / ``cache prune``
+    Inspect or garbage-collect a cell cache directory: ``prune``
+    deletes every cell whose digest no current catalog grid claims
+    (at laptop or paper scale, default trial counts), bounding cache
+    growth across code-fingerprint turnover.  Spec-file cells are
+    *not* claimed by the catalog — prune treats them as orphans.
+
+Exit status is 0 on success, 2 for usage errors (argparse), and 1 for
+resolution failures (unknown names print the registered menu).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .evaluation import ExperimentSpec, ResultCache, format_panel_block
+from .experiments import bench, bench_names, claimed_digests
+from .registry import ALL_REGISTRIES, UnknownNameError
+
+#: Executor names the CLI accepts (the engine's built-in trio).
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, enumerate, and maintain the paper's experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a catalog bench by name or a spec by .toml path")
+    run.add_argument("target",
+                     help="catalog scenario name (see `list`) or a path to "
+                          "an ExperimentSpec TOML file")
+    run.add_argument("--executor", choices=_EXECUTORS,
+                     default=os.environ.get("REPRO_BENCH_EXECUTOR", "serial"),
+                     help="grid executor (default: $REPRO_BENCH_EXECUTOR or "
+                          "serial)")
+    run.add_argument("--cache", metavar="DIR",
+                     default=os.environ.get("REPRO_BENCH_CACHE") or None,
+                     help="cell cache directory (default: $REPRO_BENCH_CACHE)")
+    run.add_argument("--trials", type=int, default=None, metavar="N",
+                     help="override trials per cell (changes the statistics "
+                          "and cache keys; results files are not written)")
+    run.add_argument("--full", action="store_true",
+                     help="paper-scale grids (hours) instead of laptop scale")
+    run.add_argument("--max-workers", type=int, default=None, metavar="N",
+                     help="pool size for thread/process executors")
+    run.add_argument("--results-dir", default=None, metavar="DIR",
+                     help="where to write the bench results table (default: "
+                          "benchmarks/results when it exists)")
+
+    sub.add_parser("list", help="registered components + catalog scenarios")
+
+    cache = sub.add_parser("cache", help="cell cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (("stats", "count cached cells and orphans"),
+                            ("prune", "delete cells no catalog grid claims")):
+        sub_parser = cache_sub.add_parser(name, help=help_text)
+        sub_parser.add_argument(
+            "--cache", metavar="DIR",
+            default=os.environ.get("REPRO_BENCH_CACHE") or None,
+            help="cell cache directory (default: $REPRO_BENCH_CACHE)")
+    cache_sub.choices["prune"].add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be deleted without deleting")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+def _print_cache_stats(cache: Optional[ResultCache]) -> None:
+    """One machine-greppable line: how the cell cache behaved this run."""
+    if cache is not None:
+        print(f"[cache] hits={cache.hits} misses={cache.misses} "
+              f"dir={cache.directory}")
+
+
+def _default_results_dir() -> Optional[Path]:
+    """``benchmarks/results`` when run from the repo root, else nothing."""
+    candidate = Path("benchmarks")
+    return candidate / "results" if candidate.is_dir() else None
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """Run one catalog bench; write its results table like the benches do."""
+    definition = bench(args.target, full=args.full)
+    cache = ResultCache(args.cache) if args.cache else None
+    results_dir = (Path(args.results_dir) if args.results_dir
+                   else _default_results_dir())
+    write = args.trials is None and results_dir is not None
+    if args.trials is not None and args.results_dir:
+        print("[run] --trials overrides the bench statistics; not writing "
+              "the results table", file=sys.stderr)
+        write = False
+    blocks = []
+    for panel in definition.panels:
+        series = panel.run(executor=args.executor, cache=cache,
+                           n_trials=args.trials,
+                           max_workers=args.max_workers)
+        text = format_panel_block(panel.title, panel.x_name,
+                                  panel.sweep_values, series)
+        print(text)
+        blocks.append(text)
+    if write:
+        # Replace (never stack onto) any stale table, and only once the
+        # whole bench has succeeded.
+        results_dir.mkdir(parents=True, exist_ok=True)
+        out_path = results_dir / f"{definition.result_stem}.txt"
+        out_path.write_text("".join(blocks))
+        print(f"[run] wrote {out_path}")
+    _print_cache_stats(cache)
+    return 0
+
+
+def _run_spec(args: argparse.Namespace, path: Path) -> int:
+    """Run a TOML experiment spec and print its table."""
+    spec = ExperimentSpec.from_toml(path)
+    cache = ResultCache(args.cache) if args.cache else None
+    result = spec.run(executor=args.executor, cache=cache,
+                      n_trials=args.trials, max_workers=args.max_workers)
+    series = {label: [stat.mean for stat in stats]
+              for label, stats in result.series.items()}
+    trials = spec.n_trials if args.trials is None else args.trials
+    title = (f"{spec.name}: {spec.metric} ({spec.solver} on {spec.data}, "
+             f"{trials} trials, seed {spec.seed})")
+    print(format_panel_block(title, spec.sweep.name, spec.sweep.values,
+                             series))
+    _print_cache_stats(cache)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    path = Path(args.target)
+    if args.target.endswith(".toml") or path.is_file():
+        if not path.is_file():
+            print(f"error: spec file {args.target!r} does not exist",
+                  file=sys.stderr)
+            return 1
+        return _run_spec(args, path)
+    return _run_bench(args)
+
+
+# ---------------------------------------------------------------------------
+# list
+# ---------------------------------------------------------------------------
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("catalog scenarios (python -m repro run <name>):")
+    for name in bench_names():
+        definition = bench(name)
+        panels = len(definition.panels)
+        print(f"  {name}  ({panels} panel{'s' if panels != 1 else ''} -> "
+              f"results/{definition.result_stem}.txt)")
+    for section, registry in ALL_REGISTRIES:
+        print(f"\n{section}:")
+        for name in registry.names():
+            print(f"  {name}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# cache stats / prune
+# ---------------------------------------------------------------------------
+
+def _cache_dir(args: argparse.Namespace) -> Optional[Path]:
+    if not args.cache:
+        print("error: no cache directory (pass --cache DIR or set "
+              "REPRO_BENCH_CACHE)", file=sys.stderr)
+        return None
+    path = Path(args.cache)
+    if not path.is_dir():
+        print(f"error: cache directory {path} does not exist",
+              file=sys.stderr)
+        return None
+    return path
+
+
+def _scan_cache(path: Path) -> Dict[str, List[Path]]:
+    """Split a cache directory's cell files into claimed and orphaned."""
+    claimed = claimed_digests()
+    split: Dict[str, List[Path]] = {"claimed": [], "orphaned": []}
+    for cell in sorted(path.glob("*.json")):
+        key = "claimed" if cell.stem in claimed else "orphaned"
+        split[key].append(cell)
+    return split
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    path = _cache_dir(args)
+    if path is None:
+        return 1
+    split = _scan_cache(path)
+    total = split["claimed"] + split["orphaned"]
+    size = sum(cell.stat().st_size for cell in total)
+    print(f"[cache] dir={path} cells={len(total)} bytes={size} "
+          f"claimed={len(split['claimed'])} orphaned={len(split['orphaned'])}")
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    path = _cache_dir(args)
+    if path is None:
+        return 1
+    split = _scan_cache(path)
+    for cell in split["orphaned"]:
+        if not args.dry_run:
+            cell.unlink()
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"[prune] dir={path} kept={len(split['claimed'])} "
+          f"{verb}={len(split['orphaned'])}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "cache":
+            if args.cache_command == "stats":
+                return _cmd_cache_stats(args)
+            return _cmd_cache_prune(args)
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -206,3 +206,32 @@ class HeavyTailedDPFW:
                 "schedule_mode": self.schedule_mode,
             },
         )
+
+
+from ..geometry.polytope import L1Ball
+from ..losses.base import resolve_loss
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("heavy_tailed_dp_fw")
+def _fit_heavy_tailed_dp_fw(data, rng: SeedLike = None, *, loss="squared",
+                            epsilon: float = 1.0, tau: float = 5.0,
+                            schedule_mode: str = "theory",
+                            n_iterations: Optional[int] = None,
+                            scale: Optional[float] = None, beta: float = 1.0,
+                            gradient_estimator: str = "catoni",
+                            moment_order: float = 2.0,
+                            l1_radius: float = 1.0) -> np.ndarray:
+    """Registry adapter: Algorithm 1 on the ℓ1 ball, returning ``w``.
+
+    ``loss`` is a registered loss name (or mapping / instance, see
+    :func:`repro.losses.resolve_loss`); the constraint dimension comes
+    from the data.  Remaining keywords mirror
+    :class:`HeavyTailedDPFW`'s fields.
+    """
+    solver = HeavyTailedDPFW(
+        resolve_loss(loss), L1Ball(data.dimension, radius=l1_radius),
+        epsilon=epsilon, tau=tau, schedule_mode=schedule_mode,
+        n_iterations=n_iterations, scale=scale, beta=beta,
+        gradient_estimator=gradient_estimator, moment_order=moment_order)
+    return solver.fit(data.features, data.labels, rng=rng).w

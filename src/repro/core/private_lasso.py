@@ -151,3 +151,22 @@ class HeavyTailedPrivateLasso:
                 "schedule_mode": self.schedule_mode,
             },
         )
+
+
+from ..geometry.polytope import L1Ball
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("private_lasso")
+def _fit_private_lasso(data, rng: SeedLike = None, *, epsilon: float = 1.0,
+                       delta: float = 1e-5,
+                       n_iterations: Optional[int] = None,
+                       threshold: Optional[float] = None,
+                       schedule_mode: str = "paper",
+                       l1_radius: float = 1.0) -> np.ndarray:
+    """Registry adapter: Algorithm 2 on the ℓ1 ball, returning ``w``."""
+    solver = HeavyTailedPrivateLasso(
+        L1Ball(data.dimension, radius=l1_radius), epsilon=epsilon,
+        delta=delta, n_iterations=n_iterations, threshold=threshold,
+        schedule_mode=schedule_mode)
+    return solver.fit(data.features, data.labels, rng=rng).w

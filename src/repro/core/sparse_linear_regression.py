@@ -186,3 +186,23 @@ class HeavyTailedSparseLinearRegression:
                 "supports": supports,
             },
         )
+
+
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("sparse_linear_regression")
+def _fit_sparse_linear_regression(data, rng: SeedLike = None, *,
+                                  sparsity: int, epsilon: float = 1.0,
+                                  delta: float = 1e-5,
+                                  selection_size: Optional[int] = None,
+                                  expansion: int = 2,
+                                  n_iterations: Optional[int] = None,
+                                  threshold: Optional[float] = None
+                                  ) -> np.ndarray:
+    """Registry adapter: Algorithm 3 (DP truncated IHT), returning ``w``."""
+    solver = HeavyTailedSparseLinearRegression(
+        sparsity=sparsity, epsilon=epsilon, delta=delta,
+        selection_size=selection_size, expansion=expansion,
+        n_iterations=n_iterations, threshold=threshold)
+    return solver.fit(data.features, data.labels, rng=rng).w

@@ -184,3 +184,22 @@ class HeavyTailedSparseOptimizer:
                 "supports": supports,
             },
         )
+
+
+from ..losses.base import resolve_loss
+from ..registry import SOLVERS
+
+
+@SOLVERS.register("sparse_optimizer")
+def _fit_sparse_optimizer(data, rng: SeedLike = None, *, loss, sparsity: int,
+                          epsilon: float = 1.0, delta: float = 1e-5,
+                          tau: float = 1.0,
+                          selection_size: Optional[int] = None,
+                          expansion: int = 2,
+                          scale: Optional[float] = None) -> np.ndarray:
+    """Registry adapter: Algorithm 5 (DP robust IHT), returning ``w``."""
+    solver = HeavyTailedSparseOptimizer(
+        resolve_loss(loss), sparsity=sparsity, epsilon=epsilon, delta=delta,
+        tau=tau, selection_size=selection_size, expansion=expansion,
+        scale=scale)
+    return solver.fit(data.features, data.labels, rng=rng).w

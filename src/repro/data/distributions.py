@@ -26,11 +26,13 @@ import numpy as np
 from scipy import special
 
 from .._validation import check_positive
+from ..registry import DISTRIBUTIONS
 from ..rng import SeedLike, ensure_rng
 
 ShapeLike = Union[int, Tuple[int, ...]]
 
 
+@DISTRIBUTIONS.register("lognormal")
 def lognormal(rng: SeedLike, shape: ShapeLike, mu: float = 0.0,
               sigma: float = 0.6) -> np.ndarray:
     """Log-normal samples; the paper's default feature distribution.
@@ -51,6 +53,7 @@ def lognormal_moments(mu: float = 0.0, sigma: float = 0.6) -> Tuple[float, float
     return mean, second
 
 
+@DISTRIBUTIONS.register("student_t")
 def student_t(rng: SeedLike, shape: ShapeLike, df: float = 10.0) -> np.ndarray:
     """Student-t samples (Figure 6 features).
 
@@ -68,6 +71,7 @@ def student_t_second_moment(df: float = 10.0) -> float:
     return df / (df - 2.0)
 
 
+@DISTRIBUTIONS.register("log_logistic")
 def log_logistic(rng: SeedLike, shape: ShapeLike, c: float = 0.1) -> np.ndarray:
     """Log-logistic samples with shape ``c`` (Figure 8 noise).
 
@@ -81,6 +85,7 @@ def log_logistic(rng: SeedLike, shape: ShapeLike, c: float = 0.1) -> np.ndarray:
     return (u / (1.0 - u)) ** (1.0 / c)
 
 
+@DISTRIBUTIONS.register("log_gamma")
 def log_gamma(rng: SeedLike, shape: ShapeLike, c: float = 0.5) -> np.ndarray:
     """Log-gamma samples with shape ``c`` (Figures 9 and 11 noise).
 
@@ -98,6 +103,7 @@ def log_gamma_mean(c: float = 0.5) -> float:
     return float(special.digamma(c))
 
 
+@DISTRIBUTIONS.register("logistic")
 def logistic(rng: SeedLike, shape: ShapeLike, loc: float = 0.0,
              scale: float = 0.5) -> np.ndarray:
     """Logistic-distribution samples (Figure 10 latent noise)."""
@@ -105,12 +111,14 @@ def logistic(rng: SeedLike, shape: ShapeLike, loc: float = 0.0,
     return ensure_rng(rng).logistic(loc=loc, scale=scale, size=shape)
 
 
+@DISTRIBUTIONS.register("laplace")
 def laplace(rng: SeedLike, shape: ShapeLike, scale: float = 5.0) -> np.ndarray:
     """Laplace samples (Figure 11 features, ``Laplace(5)`` in the paper)."""
     check_positive(scale, "scale")
     return ensure_rng(rng).laplace(loc=0.0, scale=scale, size=shape)
 
 
+@DISTRIBUTIONS.register("gaussian")
 def gaussian(rng: SeedLike, shape: ShapeLike, scale: float = 1.0) -> np.ndarray:
     """Gaussian samples; ``N(0, 5)`` are the Figures 7-10 features.
 
@@ -122,6 +130,7 @@ def gaussian(rng: SeedLike, shape: ShapeLike, scale: float = 1.0) -> np.ndarray:
     return ensure_rng(rng).normal(loc=0.0, scale=scale, size=shape)
 
 
+@DISTRIBUTIONS.register("pareto")
 def pareto(rng: SeedLike, shape: ShapeLike, tail_index: float = 2.5) -> np.ndarray:
     """Pareto samples with the given tail index (``P(X > t) ~ t^-a``).
 
@@ -146,29 +155,46 @@ class DistributionSpec:
     name: str
     params: dict = None  # type: ignore[assignment]
 
-    _SAMPLERS = {
-        "lognormal": lognormal,
-        "student_t": student_t,
-        "log_logistic": log_logistic,
-        "log_gamma": log_gamma,
-        "logistic": logistic,
-        "laplace": laplace,
-        "gaussian": gaussian,
-        "pareto": pareto,
-    }
-
     def __post_init__(self) -> None:
-        if self.name not in self._SAMPLERS:
+        if self.name not in DISTRIBUTIONS:
+            # ValueError (not the registry's KeyError) for backward
+            # compatibility with existing callers and tests.
             raise ValueError(
                 f"unknown distribution {self.name!r}; choose from "
-                f"{sorted(self._SAMPLERS)}"
+                f"{sorted(DISTRIBUTIONS.names())}"
             )
         if self.params is None:
             object.__setattr__(self, "params", {})
 
+    @classmethod
+    def of(cls, spec: "Union[DistributionSpec, str, dict]"
+           ) -> "DistributionSpec":
+        """Coerce a name, a ``{"name": ..., **params}`` mapping, or a spec.
+
+        The mapping form is what TOML/dict experiment specs naturally
+        produce (``{name = "lognormal", sigma = 0.6}``); a bare name
+        uses the sampler's default parameters.
+        """
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            return cls(spec, {})
+        try:
+            params = dict(spec)
+        except TypeError:
+            raise TypeError(
+                f"distribution spec must be a DistributionSpec, a name, or "
+                f"a mapping with a 'name' key, got {spec!r}") from None
+        try:
+            name = params.pop("name")
+        except KeyError:
+            raise TypeError(f"distribution mapping {spec!r} is missing its "
+                            "'name' key") from None
+        return cls(name, params)
+
     def sample(self, rng: SeedLike, shape: ShapeLike) -> np.ndarray:
         """Draw samples of the requested shape."""
-        sampler = self._SAMPLERS[self.name]
+        sampler = DISTRIBUTIONS.get(self.name)
         return sampler(ensure_rng(rng), shape, **self.params)
 
     def centered_sample(self, rng: SeedLike, shape: ShapeLike,

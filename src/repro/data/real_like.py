@@ -28,6 +28,7 @@ from typing import Dict
 import numpy as np
 
 from .._validation import check_positive_int
+from ..registry import DATA, DATASETS
 from ..rng import SeedLike, ensure_rng
 from .synthetic import RegressionData, l1_ball_truth
 
@@ -51,6 +52,9 @@ REAL_DATASETS: Dict[str, RealDatasetSpec] = {
     "winnipeg": RealDatasetSpec("winnipeg", 325834, 175, "logistic", 0.7, 0.01),
     "year_prediction": RealDatasetSpec("year_prediction", 515345, 90, "logistic", 0.8, 0.01),
 }
+
+for _spec in REAL_DATASETS.values():
+    DATASETS.register(_spec.name, _spec)
 
 
 def _heavy_tailed_design(n: int, d: int, spec: RealDatasetSpec,
@@ -99,9 +103,10 @@ def load_real_like(name: str, rng: SeedLike = None,
         the *planted* signal — the paper instead computes the optimum by
         a non-private solver, which the harness also supports.
     """
-    if name not in REAL_DATASETS:
-        raise ValueError(f"unknown dataset {name!r}; choose from {sorted(REAL_DATASETS)}")
-    spec = REAL_DATASETS[name]
+    if name not in DATASETS:
+        raise ValueError(f"unknown dataset {name!r}; choose from "
+                         f"{sorted(DATASETS.names())}")
+    spec = DATASETS.get(name)
     rng = ensure_rng(rng)
     n = spec.n_samples if n_samples is None else check_positive_int(n_samples, "n_samples")
     d = spec.dimension
@@ -117,3 +122,10 @@ def load_real_like(name: str, rng: SeedLike = None,
         latent = signal + rng.logistic(scale=0.5, size=n)
         y = np.where(latent > 0, 1.0, -1.0)
     return RegressionData(features=X, labels=y, w_star=w_star)
+
+
+@DATA.register("real_like")
+def _make_real_like(rng: SeedLike = None, *, dataset: str,
+                    n: int | None = None) -> RegressionData:
+    """Registry adapter: a real-like dataset by name at ``n`` rows."""
+    return load_real_like(dataset, rng=rng, n_samples=n)

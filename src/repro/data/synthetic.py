@@ -143,3 +143,60 @@ def make_logistic_data(n_samples: int, w_star: np.ndarray,
         z = z + noise_spec.centered_sample(rng, n_samples)
     y = np.where(z > 0, 1.0, -1.0)
     return RegressionData(features=X, labels=y, w_star=w_star)
+
+
+# ---------------------------------------------------------------------------
+# Registry adapters — the Section 6 model families as addressable data
+# generators (``DATA.get(name)(rng, **kwargs) -> RegressionData``), the
+# vocabulary of declarative experiment specs.  Distribution arguments
+# accept a DistributionSpec, a name, or a ``{"name": ..., **params}``
+# mapping (the TOML form); ``noise=None`` means noiseless.
+# ---------------------------------------------------------------------------
+
+from ..registry import DATA
+
+
+def _spec_or_none(value) -> Optional[DistributionSpec]:
+    return None if value is None else DistributionSpec.of(value)
+
+
+@DATA.register("l1_linear")
+def _make_l1_linear(rng: SeedLike = None, *, n: int, d: int, features,
+                    noise=None, radius: float = 1.0) -> RegressionData:
+    """Linear data with an ℓ1-ball ``w*`` (the Figures 1, 5, 6 recipe)."""
+    rng = ensure_rng(rng)
+    w_star = l1_ball_truth(d, rng, radius=radius)
+    return make_linear_data(n, w_star, DistributionSpec.of(features),
+                            _spec_or_none(noise), rng=rng)
+
+
+@DATA.register("l1_logistic")
+def _make_l1_logistic(rng: SeedLike = None, *, n: int, d: int, features,
+                      noise=None, radius: float = 1.0) -> RegressionData:
+    """Sign-label logistic data with an ℓ1-ball ``w*`` (Figure 2 recipe)."""
+    rng = ensure_rng(rng)
+    w_star = l1_ball_truth(d, rng, radius=radius)
+    return make_logistic_data(n, w_star, DistributionSpec.of(features),
+                              _spec_or_none(noise), rng=rng)
+
+
+@DATA.register("sparse_linear")
+def _make_sparse_linear(rng: SeedLike = None, *, n: int, d: int, s_star: int,
+                        features, noise=None,
+                        norm_bound: float = 0.5) -> RegressionData:
+    """Linear data with the paper's sparse ``w*`` (Figures 7-9 recipe)."""
+    rng = ensure_rng(rng)
+    w_star = sparse_truth(d, s_star, rng, norm_bound=norm_bound)
+    return make_linear_data(n, w_star, DistributionSpec.of(features),
+                            _spec_or_none(noise), rng=rng)
+
+
+@DATA.register("sparse_logistic")
+def _make_sparse_logistic(rng: SeedLike = None, *, n: int, d: int,
+                          s_star: int, features, noise=None,
+                          norm_bound: float = 0.5) -> RegressionData:
+    """Logistic data with the paper's sparse ``w*`` (Figures 10-11 recipe)."""
+    rng = ensure_rng(rng)
+    w_star = sparse_truth(d, s_star, rng, norm_bound=norm_bound)
+    return make_logistic_data(n, w_star, DistributionSpec.of(features),
+                              _spec_or_none(noise), rng=rng)

@@ -78,3 +78,10 @@ def coordinatewise(estimator, samples: np.ndarray, **kwargs) -> np.ndarray:
     if x.ndim != 2:
         raise ValueError(f"samples must be 2-D, got shape {x.shape}")
     return np.array([estimator(x[:, j], **kwargs) for j in range(x.shape[1])])
+
+
+from ..registry import ESTIMATORS
+
+ESTIMATORS.register("empirical_mean", empirical_mean)
+ESTIMATORS.register("trimmed_mean", trimmed_mean)
+ESTIMATORS.register("median_of_means", median_of_means)

@@ -254,3 +254,8 @@ def optimal_scale(n_samples: int, second_moment: float,
     numerator = n_samples * second_moment * (1.0 + 1.0 / beta)
     denominator = beta + 2.0 * math.log(2.0 / zeta)
     return math.sqrt(numerator / denominator)
+
+
+from ..registry import ESTIMATORS
+
+ESTIMATORS.register("catoni", CatoniEstimator)

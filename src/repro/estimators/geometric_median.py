@@ -78,3 +78,8 @@ def geometric_median_of_means(samples: np.ndarray, n_blocks: int = 8,
     if k == 1:
         return block_means[0]
     return weiszfeld(block_means, max_iterations=max_iterations)
+
+
+from ..registry import ESTIMATORS
+
+ESTIMATORS.register("geometric_median_of_means", geometric_median_of_means)

@@ -127,3 +127,8 @@ def optimal_truncation_threshold(n_samples: int, epsilon: float,
     v = _check_order(moment_order)
     check_positive(moment_bound, "moment_bound")
     return (n_samples * epsilon * moment_bound) ** (1.0 / (1.0 + v))
+
+
+from ..registry import ESTIMATORS
+
+ESTIMATORS.register("truncated", TruncatedMeanEstimator)

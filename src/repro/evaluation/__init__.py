@@ -11,7 +11,14 @@ from .engine import (
     get_executor,
     run_grid,
 )
-from .scenarios import PointSpec, Scenario, point_fingerprint
+from .scenarios import (
+    FingerprintError,
+    PointSpec,
+    Scenario,
+    module_token,
+    point_fingerprint,
+)
+from .spec import AxisSpec, ExperimentSpec, SpecScenario
 from .metrics import (
     classification_accuracy,
     excess_empirical_risk,
@@ -22,11 +29,20 @@ from .metrics import (
 )
 from .runner import ExperimentRunner, TrialStats
 from .sweeps import SweepResult, sweep
-from .tables import format_series_table, markdown_table, shape_summary
+from .tables import (
+    format_panel_block,
+    format_series_table,
+    markdown_table,
+    shape_summary,
+)
 
 __all__ = [
+    "AxisSpec",
     "ExperimentRunner",
+    "ExperimentSpec",
+    "FingerprintError",
     "PointSpec",
+    "SpecScenario",
     "ProcessExecutor",
     "ResultCache",
     "Scenario",
@@ -39,10 +55,12 @@ __all__ = [
     "build_jobs",
     "classification_accuracy",
     "excess_empirical_risk",
+    "format_panel_block",
     "format_series_table",
     "get_executor",
     "markdown_table",
     "mean_squared_estimation_error",
+    "module_token",
     "parameter_error",
     "point_fingerprint",
     "relative_risk_gap",

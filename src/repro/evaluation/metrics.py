@@ -87,3 +87,43 @@ def relative_risk_gap(loss: Loss, w_private: np.ndarray,
         return gap
     denom = max(loss.value(w_nonprivate, X, y) - loss.value(w_star, X, y), 1e-12)
     return gap / denom
+
+
+# ---------------------------------------------------------------------------
+# Registry adapters — metrics as addressable data for experiment specs.
+# Each takes ``(w, data)`` (a fitted parameter and the
+# :class:`~repro.data.RegressionData` it was fitted on) plus optional
+# keywords supplied by the spec's ``metric_kwargs``.
+# ---------------------------------------------------------------------------
+
+from ..registry import METRICS
+
+
+@METRICS.register("excess_risk")
+def _excess_risk_metric(w: np.ndarray, data, *, loss="squared") -> float:
+    """Excess empirical risk against the planted ``w*``.
+
+    ``loss`` is a registered loss name or mapping (see
+    :func:`repro.losses.resolve_loss`); the paper's headline metric.
+    """
+    from ..losses.base import resolve_loss
+    return excess_empirical_risk(resolve_loss(loss), w, data.w_star,
+                                 data.features, data.labels)
+
+
+@METRICS.register("param_error")
+def _param_error_metric(w: np.ndarray, data, *, order: int = 2) -> float:
+    """Parameter error ``||w - w*||`` in the requested norm."""
+    return parameter_error(w, data.w_star, order=order)
+
+
+@METRICS.register("accuracy")
+def _accuracy_metric(w: np.ndarray, data) -> float:
+    """Sign-agreement accuracy on ±1 labels (logistic experiments)."""
+    return classification_accuracy(w, data.features, data.labels)
+
+
+@METRICS.register("support_f1")
+def _support_f1_metric(w: np.ndarray, data, *, tol: float = 1e-10) -> float:
+    """F1 score of the recovered support against ``supp(w*)``."""
+    return float(support_recovery(w, data.w_star, tol=tol)["f1"])

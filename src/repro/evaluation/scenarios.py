@@ -32,11 +32,24 @@ from __future__ import annotations
 import dataclasses
 import functools
 import hashlib
+import importlib
 import types
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
 from .engine import canonical_token, stable_repr
+
+
+class FingerprintError(Exception):
+    """A fingerprint *configuration* error that must not degrade silently.
+
+    Most introspection failures inside :func:`point_fingerprint` fall
+    back to stable placeholder tokens (lossy caching, never corrupt
+    results).  Errors of this type — e.g. a ``code_hash_modules`` entry
+    that does not import — are caller mistakes: swallowing them would
+    silently disable the invalidation the caller explicitly asked for,
+    so they propagate.
+    """
 
 #: Recursion budget for the code walk: a fingerprint follows nested code
 #: objects and same-module helper functions at most this many levels
@@ -183,6 +196,57 @@ def _value_token(value: object, depth: int = 0,
             return "<unrepresentable>"
 
 
+def module_token(module_name: str) -> str:
+    """Canonical text of a library module's executable surface.
+
+    Covers every function the module defines (via
+    :func:`_function_token`, so defaults, module constants and
+    same-module helpers are included) and every method of every class
+    it defines — keyed by qualified name, in sorted order, so the token
+    is stable across processes.  Code merely *imported into* the module
+    is excluded: it belongs to (and is tracked by) its defining module.
+
+    Raises :class:`FingerprintError` when the module cannot be
+    imported — a misspelled ``code_hash_modules`` entry must fail
+    loudly, not silently stop invalidating.
+    """
+    try:
+        module = importlib.import_module(module_name)
+    except Exception as exc:
+        raise FingerprintError(
+            f"code_hash_modules entry {module_name!r} cannot be imported: "
+            f"{exc}") from exc
+    parts = [f"mod:{module_name}"]
+    for name in sorted(vars(module)):
+        attr = vars(module)[name]
+        if isinstance(attr, types.FunctionType):
+            if getattr(attr, "__module__", None) == module_name:
+                parts.append(f"{name}=" + _function_token(attr))
+        elif isinstance(attr, type):
+            if getattr(attr, "__module__", None) != module_name:
+                continue
+            for method_name in sorted(vars(attr)):
+                method = vars(attr)[method_name]
+                if isinstance(method, (staticmethod, classmethod)):
+                    method = method.__func__
+                elif isinstance(method, property):
+                    # Property bodies are code too: an edited getter
+                    # must invalidate like an edited method.
+                    for role, accessor in (("get", method.fget),
+                                           ("set", method.fset),
+                                           ("del", method.fdel)):
+                        if isinstance(accessor, types.FunctionType):
+                            parts.append(f"{name}.{method_name}.{role}="
+                                         + _function_token(accessor))
+                    continue
+                elif isinstance(method, functools.cached_property):
+                    method = method.func
+                if isinstance(method, types.FunctionType):
+                    parts.append(f"{name}.{method_name}="
+                                 + _function_token(method))
+    return "(" + ";".join(parts) + ")"
+
+
 def point_fingerprint(point: Callable) -> str:
     """Stable hex digest of a point callable's code and configuration.
 
@@ -204,6 +268,15 @@ def point_fingerprint(point: Callable) -> str:
     doubt, separate experiments with ``cache_tag`` or distinct root
     seeds, exactly as for any out-of-band dependency (library versions,
     data files).
+
+    Scenarios can widen the boundary explicitly: a
+    :attr:`Scenario.code_hash_modules` entry folds the named module's
+    entire executable surface (every function and method it defines,
+    via :func:`module_token`) into the digest, so edits to that library
+    module invalidate the scenario's warm cells too.  A module name
+    that does not import raises :class:`FingerprintError` — the one
+    failure this function refuses to degrade, because the caller asked
+    for that invalidation by name.
     """
     try:
         payload = _point_token(point)
@@ -212,6 +285,8 @@ def point_fingerprint(point: Callable) -> str:
             payload = "opaque:" + stable_repr(point)
         except Exception:
             payload = "opaque:<unrepresentable>"
+    for module_name in (getattr(point, "code_hash_modules", None) or ()):
+        payload += f"|module:{module_name}=" + module_token(module_name)
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
 
 
@@ -276,7 +351,21 @@ class Scenario:
     which is what lets the process executor fan a grid out across
     workers, and what lets :func:`point_fingerprint` key the cache by
     the fields plus the bytecode of every method the class defines.
+
+    The fingerprint's normal boundary stops at the scenario's own
+    module: library code it calls enters by name only.  Scenarios whose
+    results hinge on specific library modules can opt in to deeper
+    invalidation by naming them in ``code_hash_modules`` — e.g.
+    ``code_hash_modules=("repro.estimators.catoni",)`` retires the
+    scenario's warm cache cells whenever any function or method of
+    ``repro.estimators.catoni`` changes.  The field is keyword-only (it
+    never participates in subclasses' positional field order) and, like
+    every field, is part of the fingerprint itself.
     """
+
+    #: Library modules whose executable surface is folded into the
+    #: cache fingerprint (see :func:`module_token`); () hashes none.
+    code_hash_modules: Tuple[str, ...] = field(default=(), kw_only=True)
 
     def __call__(self, series_value: object, sweep_value: object,
                  rng) -> float:

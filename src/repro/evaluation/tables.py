@@ -56,3 +56,22 @@ def markdown_table(headers: Iterable[str], rows: Iterable[Sequence]) -> str:
     for row in rows:
         lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
     return "\n".join(lines)
+
+
+def format_panel_block(title: str, x_name: str, x_values: Sequence,
+                       series: Dict[object, Sequence[float]]) -> str:
+    """One bench results-file block: the panel table plus trend lines.
+
+    This is the exact text the figure benches append to
+    ``benchmarks/results/*.txt`` (and print); the CLI uses the same
+    function, so ``python -m repro run <bench>`` reproduces a committed
+    table byte for byte.  Series labels are stringified, as the bench
+    tables always did.
+    """
+    labelled = {f"{k}": v for k, v in series.items()}
+    table = format_series_table(x_name, list(x_values), labelled, title=title)
+    trends = "\n".join(
+        f"  series {label}: {shape_summary(list(x_values), list(values))}"
+        for label, values in labelled.items()
+    )
+    return f"\n{table}\n{trends}\n"

@@ -1,0 +1,21 @@
+"""Named, addressable experiments: panel scenarios and the bench catalog.
+
+* :mod:`repro.experiments.panels` — the frozen scenario dataclasses the
+  figure/ablation/extension benches run (picklable, code-fingerprinted).
+* :mod:`repro.experiments.catalog` — every bench registered by name as
+  a :class:`~repro.experiments.catalog.BenchDef` (its panels, grids,
+  seeds, trial counts and table titles), at laptop or paper scale.
+
+``python -m repro list`` enumerates the catalog; ``python -m repro run
+<name>`` reproduces a bench's committed results table through it.
+"""
+
+from .catalog import BenchDef, PanelDef, bench, bench_names, claimed_digests
+
+__all__ = [
+    "BenchDef",
+    "PanelDef",
+    "bench",
+    "bench_names",
+    "claimed_digests",
+]

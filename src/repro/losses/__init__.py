@@ -6,7 +6,7 @@ a Huber comparator, and an ℓ2-regularisation wrapper (the GLM family of
 Section 5.2).
 """
 
-from .base import Loss, MarginLoss, finite_difference_gradient
+from .base import Loss, MarginLoss, finite_difference_gradient, resolve_loss
 from .curvature import estimate_curvature, gram_top_eigenvalue
 from .huber import HuberLoss
 from .logistic import LogisticLoss, sigmoid
@@ -25,5 +25,6 @@ __all__ = [
     "estimate_curvature",
     "finite_difference_gradient",
     "gram_top_eigenvalue",
+    "resolve_loss",
     "sigmoid",
 ]

@@ -116,3 +116,33 @@ def finite_difference_gradient(loss: Loss, w: np.ndarray, X: np.ndarray,
         bump[j] = step
         grad[j] = (loss.value(w + bump, X, y) - loss.value(w - bump, X, y)) / (2 * step)
     return grad
+
+
+def resolve_loss(spec, **kwargs) -> Loss:
+    """A :class:`Loss` from a registered name, a mapping, or an instance.
+
+    ``spec`` may be a ready :class:`Loss` (returned unchanged; extra
+    ``kwargs`` are rejected), a registered loss name (``"squared"``,
+    ``"l2_regularized"``, ...) whose factory is called with ``kwargs``,
+    or a mapping with a ``"name"`` key and the factory's keyword
+    arguments — the form TOML specs naturally produce.  Unknown names
+    raise :class:`repro.registry.UnknownNameError` listing the menu.
+    """
+    from ..registry import LOSSES
+    if isinstance(spec, Loss):
+        if kwargs:
+            raise TypeError(f"cannot apply kwargs {sorted(kwargs)} to an "
+                            f"already-built loss {spec!r}")
+        return spec
+    if isinstance(spec, str):
+        return LOSSES.get(spec)(**kwargs)
+    try:
+        params = dict(spec)
+    except TypeError:
+        raise TypeError(f"loss spec must be a Loss, a registered name, or a "
+                        f"mapping with a 'name' key, got {spec!r}") from None
+    try:
+        name = params.pop("name")
+    except KeyError:
+        raise TypeError(f"loss mapping {spec!r} is missing its 'name' key") from None
+    return LOSSES.get(name)(**params, **kwargs)

@@ -36,3 +36,8 @@ class HuberLoss(MarginLoss):
     def link_derivative(self, z: np.ndarray, y: np.ndarray) -> np.ndarray:
         t = np.asarray(z, dtype=float) - np.asarray(y, dtype=float)
         return np.clip(t, -self.delta, self.delta)
+
+
+from ..registry import LOSSES
+
+LOSSES.register("huber", HuberLoss)

@@ -55,3 +55,8 @@ class LogisticLoss(MarginLoss):
         X = np.asarray(X, dtype=float)
         second_moment = X.T @ X / X.shape[0]
         return 0.25 * float(np.linalg.eigvalsh(second_moment)[-1])
+
+
+from ..registry import LOSSES
+
+LOSSES.register("logistic", LogisticLoss)

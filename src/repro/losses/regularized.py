@@ -49,3 +49,14 @@ class L2Regularized(Loss):
 
     def gradient(self, w, X, y) -> np.ndarray:
         return self.base.gradient(w, X, y) + self.lam * np.asarray(w, dtype=float)
+
+
+from ..registry import LOSSES
+
+
+@LOSSES.register("l2_regularized")
+def _make_l2_regularized(base="logistic", penalty: float = 0.01,
+                         **base_kwargs) -> "L2Regularized":
+    """Registry factory: wrap a registered base loss with an ℓ2 penalty."""
+    from .base import resolve_loss
+    return L2Regularized(resolve_loss(base, **base_kwargs), penalty)

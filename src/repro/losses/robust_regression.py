@@ -61,3 +61,8 @@ class BiweightLoss(MarginLoss):
         """``C_psi``: a bound on ``|psi'|`` (attained at ``t = c/sqrt(5)``)."""
         t_star = self.c / np.sqrt(5.0)
         return float(t_star * (1.0 - 0.2) ** 2)
+
+
+from ..registry import LOSSES
+
+LOSSES.register("biweight", BiweightLoss)

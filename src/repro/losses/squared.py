@@ -45,3 +45,8 @@ class SquaredLoss(MarginLoss):
         X = np.asarray(X, dtype=float)
         eigenvalues = np.linalg.eigvalsh(2.0 * X.T @ X / X.shape[0])
         return float(eigenvalues[0]), float(eigenvalues[-1])
+
+
+from ..registry import LOSSES
+
+LOSSES.register("squared", SquaredLoss)

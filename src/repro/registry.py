@@ -1,0 +1,244 @@
+"""Name registries: solvers, losses, distributions, datasets, metrics.
+
+Every component an experiment references — the solver it fits, the loss
+it optimises, the distribution its data is drawn from, the metric it
+reports — is *addressable data*: registered under a short stable name
+and resolved through a :class:`Registry`.  This is what lets a new
+paper variant be a declarative spec (:mod:`repro.evaluation.spec`) or a
+catalog entry (:mod:`repro.experiments.catalog`) instead of a code
+change, and what lets the CLI (``python -m repro list``) enumerate the
+system.
+
+Resolution is strict in both directions:
+
+* registering a name twice raises :class:`RegistryCollisionError`
+  naming the existing entry — silent shadowing would make the meaning
+  of a spec depend on import order;
+* looking up an unknown name raises :class:`UnknownNameError` listing
+  every registered entry (with close-match suggestions), so a typo in
+  a spec file fails with the menu, not a bare ``KeyError``.
+
+Registries populate lazily: each one knows the modules whose import
+registers its entries, and imports them on first use.  Plain
+``SOLVERS.get("dp_sgd")`` therefore works without the caller having
+imported :mod:`repro.baselines` first, and no import cycles arise
+(this module imports nothing from the package at import time).
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+
+class RegistryError(Exception):
+    """Base class for registry failures."""
+
+
+class RegistryCollisionError(RegistryError):
+    """A name was registered twice in the same registry."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A lookup named no registered entry.
+
+    Subclasses ``KeyError`` so code treating a registry as a mapping
+    keeps working, but ``str()`` renders the helpful message (plain
+    ``KeyError`` quotes its first argument).
+    """
+
+    def __str__(self) -> str:  # noqa: D105 (KeyError repr-quotes args)
+        return self.args[0]
+
+
+class Registry:
+    """A named mapping from string keys to registered objects.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun for error messages ("solver",
+        "loss", ...).
+    populate:
+        Module names whose import registers this registry's built-in
+        entries; imported once, on the first lookup or enumeration.
+    """
+
+    def __init__(self, kind: str, populate: Sequence[str] = ()):
+        self.kind = kind
+        self._entries: Dict[str, object] = {}
+        self._populate_modules = tuple(populate)
+        self._populated = not populate
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, obj: Optional[object] = None):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``@REG.register("name")`` above a function/class registers it
+        and returns it unchanged; ``REG.register("name", obj)``
+        registers an existing object.
+        """
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"{self.kind} name must be a non-empty string, "
+                            f"got {name!r}")
+
+        def _add(target: object) -> object:
+            existing = self._entries.get(name)
+            if existing is not None and existing is not target:
+                raise RegistryCollisionError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(existing entry: {_describe(existing)}); pick a "
+                    f"different name or remove the old registration")
+            self._entries[name] = target
+            return target
+
+        if obj is None:
+            return _add
+        return _add(obj)
+
+    # -- lookup -------------------------------------------------------------
+
+    def _ensure_populated(self) -> None:
+        if self._populated:
+            return
+        self._populated = True  # set first: the imports re-enter register()
+        try:
+            for module in self._populate_modules:
+                importlib.import_module(module)
+        except BaseException:
+            # Leave the registry retryable: a half-populated menu after
+            # a failed import would turn every later lookup into a
+            # misleading UnknownNameError that masks the real problem.
+            self._populated = False
+            raise
+
+    def get(self, name: str) -> object:
+        """The entry registered under ``name``.
+
+        Raises :class:`UnknownNameError` listing every available name —
+        plus close matches for likely typos — when ``name`` is unknown.
+        """
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            pass
+        message = f"unknown {self.kind} {name!r}; available: " \
+                  f"{', '.join(self.names()) or '(none registered)'}"
+        suggestions = difflib.get_close_matches(str(name), self.names(), n=3)
+        if suggestions:
+            message += f". Did you mean: {', '.join(suggestions)}?"
+        raise UnknownNameError(message)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        self._ensure_populated()
+        return tuple(sorted(self._entries))
+
+    def items(self) -> Tuple[Tuple[str, object], ...]:
+        """``(name, entry)`` pairs, sorted by name."""
+        self._ensure_populated()
+        return tuple((name, self._entries[name]) for name in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        """Whether ``name`` is registered."""
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate over registered names in sorted order."""
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        """Number of registered entries."""
+        self._ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        """Stable repr naming the kind and the entry count."""
+        state = (f"{len(self._entries)} entries" if self._populated
+                 else "unpopulated")
+        return f"Registry({self.kind!r}, {state})"
+
+
+def _describe(obj: object) -> str:
+    """A short, address-free description of a registered object."""
+    name = getattr(obj, "__qualname__", None) or getattr(obj, "__name__", None)
+    if name:
+        return f"{getattr(obj, '__module__', '?')}.{name}"
+    return type(obj).__name__
+
+
+# ---------------------------------------------------------------------------
+# The package's registries.  Each names the modules that register its
+# built-in entries; `Registry` imports them lazily on first use.
+# ---------------------------------------------------------------------------
+
+#: Solver adapters: ``fit(data, rng, **kwargs) -> w`` (a parameter vector).
+SOLVERS = Registry("solver", populate=(
+    "repro.core.heavy_tailed_dp_fw",
+    "repro.core.private_lasso",
+    "repro.core.sparse_linear_regression",
+    "repro.core.sparse_optimization",
+    "repro.baselines.frank_wolfe",
+    "repro.baselines.dp_fw_regular",
+    "repro.baselines.dp_sgd",
+    "repro.baselines.iht",
+    "repro.baselines.gradient_descent",
+))
+
+#: Loss factories: ``factory(**kwargs) -> Loss`` instance.
+LOSSES = Registry("loss", populate=(
+    "repro.losses.squared",
+    "repro.losses.logistic",
+    "repro.losses.huber",
+    "repro.losses.robust_regression",
+    "repro.losses.regularized",
+))
+
+#: Samplers: ``sampler(rng, shape, **params) -> ndarray`` (heavy-tailed laws).
+DISTRIBUTIONS = Registry("distribution", populate=(
+    "repro.data.distributions",
+))
+
+#: Real-like dataset specs (the paper's four UCI stand-ins).
+DATASETS = Registry("dataset", populate=(
+    "repro.data.real_like",
+))
+
+#: Data generators: ``make(rng, **kwargs) -> RegressionData``.
+DATA = Registry("data generator", populate=(
+    "repro.data.synthetic",
+    "repro.data.real_like",
+))
+
+#: Robust mean estimator factories: ``factory(**kwargs) -> estimator``.
+ESTIMATORS = Registry("estimator", populate=(
+    "repro.estimators.catoni",
+    "repro.estimators.baseline_means",
+    "repro.estimators.geometric_median",
+    "repro.estimators.weak_moments",
+))
+
+#: Spec metrics: ``metric(w, data) -> float`` on a fitted parameter.
+METRICS = Registry("metric", populate=(
+    "repro.evaluation.metrics",
+))
+
+#: Catalog bench builders: ``build(full=False) -> BenchDef``.
+CATALOG = Registry("catalog scenario", populate=(
+    "repro.experiments.catalog",
+))
+
+#: Every component registry by section name, for `python -m repro list`.
+ALL_REGISTRIES: Tuple[Tuple[str, Registry], ...] = (
+    ("solvers", SOLVERS),
+    ("losses", LOSSES),
+    ("distributions", DISTRIBUTIONS),
+    ("datasets", DATASETS),
+    ("data generators", DATA),
+    ("estimators", ESTIMATORS),
+    ("metrics", METRICS),
+)

@@ -1,0 +1,172 @@
+"""The ``python -m repro`` CLI and the bench env-knob fail-fast."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import claimed_digests
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+TINY_SPEC = "\n".join([
+    'name = "cli_tiny"',
+    'solver = "private_lasso"',
+    'data = "l1_linear"',
+    'metric = "excess_risk"',
+    'n_trials = 2',
+    'seed = 3',
+    '[data_kwargs]',
+    'n = 300',
+    'features = {name = "lognormal", sigma = 0.6}',
+    '[sweep]',
+    'name = "epsilon"',
+    'target = "solver.epsilon"',
+    'values = [0.5, 2.0]',
+    '[series]',
+    'name = "d"',
+    'target = "data.d"',
+    'values = [4, 8]',
+])
+
+
+class TestList:
+    def test_lists_catalog_and_components(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05_lasso_lognormal" in out
+        assert "ablation_peeling_vs_dense" in out
+        assert "solvers:" in out and "private_lasso" in out
+        assert "metrics:" in out and "excess_risk" in out
+        assert "distributions:" in out and "lognormal" in out
+
+
+class TestRun:
+    def test_unknown_name_fails_with_menu(self, capsys):
+        assert main(["run", "fig99_nope"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown catalog scenario" in err
+        assert "fig05_lasso_lognormal" in err
+
+    def test_missing_spec_file_fails(self, capsys):
+        assert main(["run", "no/such/spec.toml"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_spec_run_cold_then_warm(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        cache_dir = tmp_path / "cells"
+        assert main(["run", str(spec_path), "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cli_tiny" in out and "epsilon" in out
+        assert "hits=0 misses=4" in out
+        # Warm rerun: every cell must come from the cache.
+        assert main(["run", str(spec_path), "--cache", str(cache_dir)]) == 0
+        assert "hits=4 misses=0" in capsys.readouterr().out
+
+    def test_trials_override_changes_cache_keys(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        cache_dir = tmp_path / "cells"
+        main(["run", str(spec_path), "--cache", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["run", str(spec_path), "--cache", str(cache_dir),
+                     "--trials", "1"]) == 0
+        assert "hits=0 misses=4" in capsys.readouterr().out
+
+
+class TestCacheMaintenance:
+    def _fake_cache(self, tmp_path, n_claimed=3, n_orphans=2):
+        """A cache with files named by real claimed digests plus orphans.
+
+        Writing the files directly (instead of running a bench) keeps
+        the test fast while exercising exactly the digest-set logic
+        prune relies on.
+        """
+        cache = tmp_path / "cells"
+        cache.mkdir()
+        claimed = sorted(claimed_digests())[:n_claimed]
+        for digest in claimed:
+            (cache / f"{digest}.json").write_text(json.dumps([0.0, 1.0]))
+        orphans = [f"{'0' * 31}{i}" for i in range(n_orphans)]
+        for digest in orphans:
+            (cache / f"{digest}.json").write_text(json.dumps([2.0]))
+        return cache, claimed, orphans
+
+    def test_stats_counts_claimed_and_orphaned(self, tmp_path, capsys):
+        cache, claimed, orphans = self._fake_cache(tmp_path)
+        assert main(["cache", "stats", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert f"cells={len(claimed) + len(orphans)}" in out
+        assert f"claimed={len(claimed)}" in out
+        assert f"orphaned={len(orphans)}" in out
+
+    def test_prune_deletes_only_orphans(self, tmp_path, capsys):
+        cache, claimed, orphans = self._fake_cache(tmp_path)
+        assert main(["cache", "prune", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert f"kept={len(claimed)} deleted={len(orphans)}" in out
+        remaining = {p.stem for p in cache.glob("*.json")}
+        assert remaining == set(claimed)  # every claimed cell survives
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path, capsys):
+        cache, claimed, orphans = self._fake_cache(tmp_path)
+        before = sorted(cache.glob("*.json"))
+        assert main(["cache", "prune", "--cache", str(cache),
+                     "--dry-run"]) == 0
+        assert "would delete=2" in capsys.readouterr().out
+        assert sorted(cache.glob("*.json")) == before
+
+    def test_cache_commands_require_a_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+        assert main(["cache", "stats"]) == 1
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_missing_cache_directory_fails(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache",
+                     str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestBenchEnvKnobs:
+    """`benchmarks/_common.py` must reject bad env knobs at import."""
+
+    def _import_common(self, env_overrides):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_BENCH_EXECUTOR", None)
+        env.pop("REPRO_BENCH_CACHE", None)
+        env.update(env_overrides)
+        return subprocess.run(
+            [sys.executable, "-c", "import _common"],
+            cwd=REPO_ROOT / "benchmarks", env=env,
+            capture_output=True, text=True)
+
+    def test_valid_executor_imports(self):
+        result = self._import_common({"REPRO_BENCH_EXECUTOR": "thread"})
+        assert result.returncode == 0, result.stderr
+
+    def test_unknown_executor_fails_listing_options(self):
+        result = self._import_common({"REPRO_BENCH_EXECUTOR": "warp"})
+        assert result.returncode != 0
+        assert "unknown REPRO_BENCH_EXECUTOR value 'warp'" in result.stderr
+        assert "serial, thread, process" in result.stderr
+
+    def test_unwritable_cache_dir_fails(self, tmp_path):
+        blocker = tmp_path / "a-file"
+        blocker.write_text("")
+        result = self._import_common(
+            {"REPRO_BENCH_CACHE": str(blocker / "sub")})
+        assert result.returncode != 0
+        assert "REPRO_BENCH_CACHE" in result.stderr
+        assert "not writable" in result.stderr
+
+    def test_writable_cache_dir_is_created(self, tmp_path):
+        target = tmp_path / "fresh" / "cells"
+        result = self._import_common({"REPRO_BENCH_CACHE": str(target)})
+        assert result.returncode == 0, result.stderr
+        assert target.is_dir()

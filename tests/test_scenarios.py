@@ -15,6 +15,7 @@ import pathlib
 import pickle
 import sys
 import textwrap
+import types
 
 import numpy as np
 import pytest
@@ -333,3 +334,141 @@ class TestCodeAwareCaching:
         relabeled = run_grid(noisy, "n", [1], "d", [1], n_trials=3, seed=7,
                              code_tag="v2")
         assert baseline.means(1).tolist() == relabeled.means(1).tolist()
+
+
+class TestCodeHashModules:
+    """The opt-in cross-module fingerprint knob on Scenario."""
+
+    def _fake_module(self, name, body):
+        module = types.ModuleType(name)
+        exec(textwrap.dedent(body), module.__dict__)
+        sys.modules[name] = module
+        return module
+
+    def test_module_edit_invalidates_fingerprint(self):
+        import dataclasses as _dc
+        from repro.evaluation import PointSpec, point_fingerprint
+        name = "_fp_knob_test_mod"
+        self._fake_module(name, """
+            def helper(a):
+                return a + 1
+        """)
+        try:
+            def point(series, x, rng):
+                return 0.0
+            spec = _dc.replace(PointSpec.of(point),
+                               code_hash_modules=(name,))
+            before = point_fingerprint(spec)
+            # Same module content -> same fingerprint.
+            assert point_fingerprint(spec) == before
+            # Editing the module's function body must invalidate.
+            self._fake_module(name, """
+                def helper(a):
+                    return a + 2
+            """)
+            assert point_fingerprint(spec) != before
+        finally:
+            del sys.modules[name]
+
+    def test_class_methods_in_module_are_covered(self):
+        import dataclasses as _dc
+        from repro.evaluation import PointSpec, point_fingerprint
+        name = "_fp_knob_class_mod"
+        self._fake_module(name, """
+            class Estimator:
+                def estimate(self, x):
+                    return x * 2
+        """)
+        try:
+            def point(series, x, rng):
+                return 0.0
+            spec = _dc.replace(PointSpec.of(point),
+                               code_hash_modules=(name,))
+            before = point_fingerprint(spec)
+            self._fake_module(name, """
+                class Estimator:
+                    def estimate(self, x):
+                        return x * 3
+            """)
+            assert point_fingerprint(spec) != before
+        finally:
+            del sys.modules[name]
+
+    def test_field_participates_in_fingerprint_itself(self):
+        import dataclasses as _dc
+        from repro.evaluation import PointSpec, point_fingerprint
+        def point(series, x, rng):
+            return 0.0
+        bare = PointSpec.of(point)
+        opted = _dc.replace(bare, code_hash_modules=("repro.rng",))
+        assert point_fingerprint(bare) != point_fingerprint(opted)
+
+    def test_unknown_module_raises_not_degrades(self):
+        import dataclasses as _dc
+        from repro.evaluation import (FingerprintError, PointSpec,
+                                      point_fingerprint)
+        def point(series, x, rng):
+            return 0.0
+        spec = _dc.replace(PointSpec.of(point),
+                           code_hash_modules=("no_such_module_qq",))
+        with pytest.raises(FingerprintError, match="no_such_module_qq"):
+            point_fingerprint(spec)
+
+    def test_real_library_module_token_is_stable(self):
+        from repro.evaluation import module_token
+        assert module_token("repro.estimators.catoni") == \
+               module_token("repro.estimators.catoni")
+
+
+class TestModuleTokenDescriptors:
+    """module_token must see property and cached_property bodies."""
+
+    def _fake_module(self, name, body):
+        module = types.ModuleType(name)
+        exec(textwrap.dedent(body), module.__dict__)
+        sys.modules[name] = module
+        return module
+
+    def test_property_edit_changes_module_token(self):
+        from repro.evaluation import module_token
+        name = "_fp_prop_mod"
+        self._fake_module(name, """
+            class Shape:
+                @property
+                def diameter(self):
+                    return 1
+        """)
+        try:
+            before = module_token(name)
+            self._fake_module(name, """
+                class Shape:
+                    @property
+                    def diameter(self):
+                        return 2
+            """)
+            assert module_token(name) != before
+        finally:
+            del sys.modules[name]
+
+    def test_cached_property_edit_changes_module_token(self):
+        from repro.evaluation import module_token
+        name = "_fp_cached_prop_mod"
+        self._fake_module(name, """
+            import functools
+            class Shape:
+                @functools.cached_property
+                def area(self):
+                    return 1
+        """)
+        try:
+            before = module_token(name)
+            self._fake_module(name, """
+                import functools
+                class Shape:
+                    @functools.cached_property
+                    def area(self):
+                        return 2
+            """)
+            assert module_token(name) != before
+        finally:
+            del sys.modules[name]

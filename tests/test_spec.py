@@ -1,0 +1,209 @@
+"""ExperimentSpec: validation, round-trips, and engine integration."""
+
+import pickle
+
+import pytest
+
+from repro.evaluation import (
+    ExperimentSpec,
+    ResultCache,
+    SpecScenario,
+    point_fingerprint,
+)
+from repro.registry import UnknownNameError
+
+
+def tiny_spec_dict(**overrides):
+    """A fast private-Lasso spec (seconds, not minutes)."""
+    base = {
+        "name": "lasso_tiny",
+        "solver": "private_lasso",
+        "data": "l1_linear",
+        "metric": "excess_risk",
+        "solver_kwargs": {"delta": 1e-5},
+        "data_kwargs": {"n": 300,
+                        "features": {"name": "lognormal", "sigma": 0.6},
+                        "noise": {"name": "gaussian", "scale": 0.1}},
+        "sweep": {"name": "epsilon", "target": "solver.epsilon",
+                  "values": [0.5, 2.0]},
+        "series": {"name": "d", "target": "data.d", "values": [4, 8]},
+        "n_trials": 2,
+        "seed": 7,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestRoundTrip:
+    def test_dict_to_spec_to_dict(self):
+        spec = ExperimentSpec.from_dict(tiny_spec_dict())
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_dict_to_scenario_is_stable(self):
+        d = tiny_spec_dict()
+        scenario1 = ExperimentSpec.from_dict(d).to_scenario()
+        scenario2 = ExperimentSpec.from_dict(d).to_scenario()
+        assert scenario1 == scenario2
+        assert point_fingerprint(scenario1) == point_fingerprint(scenario2)
+
+    def test_scenario_pickles_by_value(self):
+        scenario = ExperimentSpec.from_dict(tiny_spec_dict()).to_scenario()
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+        assert isinstance(clone, SpecScenario)
+
+    def test_kwargs_changes_change_the_fingerprint(self):
+        base = ExperimentSpec.from_dict(tiny_spec_dict()).to_scenario()
+        hotter = ExperimentSpec.from_dict(tiny_spec_dict(
+            solver_kwargs={"delta": 1e-6})).to_scenario()
+        assert point_fingerprint(base) != point_fingerprint(hotter)
+
+    def test_toml_round_trip(self, tmp_path):
+        spec = ExperimentSpec.from_dict(tiny_spec_dict())
+        toml_text = "\n".join([
+            'name = "lasso_tiny"',
+            'solver = "private_lasso"',
+            'data = "l1_linear"',
+            'metric = "excess_risk"',
+            'n_trials = 2',
+            'seed = 7',
+            '[solver_kwargs]',
+            'delta = 1e-5',
+            '[data_kwargs]',
+            'n = 300',
+            'features = {name = "lognormal", sigma = 0.6}',
+            'noise = {name = "gaussian", scale = 0.1}',
+            '[sweep]',
+            'name = "epsilon"',
+            'target = "solver.epsilon"',
+            'values = [0.5, 2.0]',
+            '[series]',
+            'name = "d"',
+            'target = "data.d"',
+            'values = [4, 8]',
+        ])
+        path = tmp_path / "spec.toml"
+        path.write_text(toml_text)
+        assert ExperimentSpec.from_toml(path) == spec
+
+
+class TestValidation:
+    def test_unknown_solver_lists_menu(self):
+        with pytest.raises(UnknownNameError, match="private_lasso"):
+            ExperimentSpec.from_dict(tiny_spec_dict(solver="private_laso"))
+
+    def test_unknown_data_generator(self):
+        with pytest.raises(UnknownNameError, match="l1_linear"):
+            ExperimentSpec.from_dict(tiny_spec_dict(data="l1_liner"))
+
+    def test_unknown_metric(self):
+        with pytest.raises(UnknownNameError, match="excess_risk"):
+            ExperimentSpec.from_dict(tiny_spec_dict(metric="excess"))
+
+    def test_axis_target_must_name_an_accepted_kwarg(self):
+        bad = tiny_spec_dict(sweep={"name": "epsilon",
+                                    "target": "solver.epsilonn",
+                                    "values": [1.0]})
+        with pytest.raises(ValueError, match="epsilonn"):
+            ExperimentSpec.from_dict(bad)
+
+    def test_axis_target_section_must_be_solver_or_data(self):
+        bad = tiny_spec_dict(sweep={"name": "epsilon",
+                                    "target": "metric.epsilon",
+                                    "values": [1.0]})
+        with pytest.raises(ValueError, match="solver.<kwarg>"):
+            ExperimentSpec.from_dict(bad)
+
+    def test_unknown_solver_kwarg_rejected(self):
+        bad = tiny_spec_dict(solver_kwargs={"delta": 1e-5, "bogus": 1})
+        with pytest.raises(ValueError, match="bogus"):
+            ExperimentSpec.from_dict(bad)
+
+    def test_axis_collision_with_fixed_kwarg(self):
+        bad = tiny_spec_dict(solver_kwargs={"delta": 1e-5, "epsilon": 1.0})
+        with pytest.raises(ValueError, match="collides"):
+            ExperimentSpec.from_dict(bad)
+
+    def test_empty_axis_values_rejected(self):
+        bad = tiny_spec_dict(sweep={"name": "epsilon",
+                                    "target": "solver.epsilon",
+                                    "values": []})
+        with pytest.raises(ValueError, match="no values"):
+            ExperimentSpec.from_dict(bad)
+
+    def test_duplicate_series_values_rejected(self):
+        bad = tiny_spec_dict(series={"name": "d", "target": "data.d",
+                                     "values": [4, 4]})
+        with pytest.raises(ValueError, match="unique"):
+            ExperimentSpec.from_dict(bad)
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="typo_key"):
+            ExperimentSpec.from_dict(tiny_spec_dict(typo_key=1))
+
+    def test_missing_required_key_rejected(self):
+        d = tiny_spec_dict()
+        del d["solver"]
+        with pytest.raises(ValueError, match="solver"):
+            ExperimentSpec.from_dict(d)
+
+    def test_unserialisable_kwargs_rejected(self):
+        bad = tiny_spec_dict(data_kwargs={"n": 300, "features": object()})
+        with pytest.raises(TypeError, match="JSON"):
+            ExperimentSpec.from_dict(bad)
+
+
+class TestExecution:
+    def test_run_is_deterministic_and_executor_invariant(self):
+        spec = ExperimentSpec.from_dict(tiny_spec_dict())
+        serial = spec.run()
+        threaded = spec.run(executor="thread")
+        for d in (4, 8):
+            assert [s.mean for s in serial.series[d]] == \
+                   [s.mean for s in threaded.series[d]]
+
+    def test_run_uses_spec_axis_names(self):
+        result = ExperimentSpec.from_dict(tiny_spec_dict()).run()
+        assert result.sweep_name == "epsilon"
+        assert result.series_name == "d"
+
+    def test_warm_cache_rerun_hits_every_cell(self, tmp_path):
+        spec = ExperimentSpec.from_dict(tiny_spec_dict())
+        cold = ResultCache(tmp_path / "cells")
+        first = spec.run(cache=cold)
+        assert cold.misses == 4 and cold.hits == 0
+        warm = ResultCache(tmp_path / "cells")
+        second = spec.run(cache=warm)
+        assert warm.hits == 4 and warm.misses == 0
+        for d in (4, 8):
+            assert [s.mean for s in first.series[d]] == \
+                   [s.mean for s in second.series[d]]
+
+
+class TestReviewRegressions:
+    """Regressions for review findings on spec validation coverage."""
+
+    def test_sweep_and_series_may_not_share_a_target(self):
+        bad = tiny_spec_dict(
+            sweep={"name": "eps_a", "target": "solver.epsilon",
+                   "values": [0.5, 1.0]},
+            series={"name": "eps_b", "target": "solver.epsilon",
+                    "values": [2.0, 4.0]})
+        with pytest.raises(ValueError, match="both target"):
+            ExperimentSpec.from_dict(bad)
+
+    def test_reserved_positional_params_rejected_as_kwargs(self):
+        with pytest.raises(ValueError, match="'rng'"):
+            ExperimentSpec.from_dict(
+                tiny_spec_dict(solver_kwargs={"delta": 1e-5, "rng": 7}))
+        with pytest.raises(ValueError, match="'data'"):
+            ExperimentSpec.from_dict(
+                tiny_spec_dict(solver_kwargs={"delta": 1e-5, "data": 1}))
+
+    def test_reserved_positional_params_rejected_as_axis_targets(self):
+        bad = tiny_spec_dict(sweep={"name": "rng", "target": "solver.rng",
+                                    "values": [1, 2]})
+        with pytest.raises(ValueError, match="'rng'"):
+            ExperimentSpec.from_dict(bad)
