@@ -27,7 +27,8 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from repro.evaluation import format_panel_block, run_grid
-from repro.experiments import bench
+from repro.experiments import bench, bench_recorder
+from repro.results import ResultsStore
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
@@ -106,7 +107,7 @@ def _resolve_executor(point) -> str:
 
 
 def run_catalog_bench(name: str) -> List[Dict[object, List[float]]]:
-    """Run every panel of the named catalog bench; emit its tables.
+    """Run every panel of the named catalog bench; emit tables + record.
 
     The single bench entry point: grids, seeds, trial counts and titles
     come from :func:`repro.experiments.bench` (at ``REPRO_BENCH_FULL``
@@ -114,19 +115,29 @@ def run_catalog_bench(name: str) -> List[Dict[object, List[float]]]:
     :meth:`~repro.experiments.catalog.PanelDef.run` the CLI uses (with
     the bench env knobs applied), and each panel's table is printed and
     persisted exactly as ``python -m repro run <name>`` writes it.
+    A provenance-stamped run record (``repro.results``) lands next to
+    the text table — ``results/<stem>.json`` — identical to the CLI's,
+    so ``python -m repro diff`` can compare bench and CLI runs freely.
     Returns the panels' ``series -> mean curve`` mappings, in catalog
     order, for the caller's shape assertions.
     """
     definition = bench(name, full=FULL)
+    # Record the executor that actually runs, not the env knob: an
+    # unpicklable point demotes to serial, and the record's metadata
+    # must not claim a process-pool run that never happened.
+    resolved = [_resolve_executor(panel.point) for panel in definition.panels]
+    executor = resolved[0] if len(set(resolved)) == 1 else "mixed"
+    recorder = bench_recorder(definition, executor=executor, full=FULL)
     panels = []
-    for panel in definition.panels:
+    for panel, panel_executor in zip(definition.panels, resolved):
         # The same PanelDef.run the CLI uses — one execution path, so
         # bench-vs-CLI bit-identity cannot drift.
-        series = panel.run(executor=_resolve_executor(panel.point),
-                           cache=CACHE_DIR)
+        series = panel.run(executor=panel_executor,
+                           cache=CACHE_DIR, recorder=recorder)
         emit_table(definition.result_stem, panel.title, panel.x_name,
                    panel.sweep_values, series)
         panels.append(series)
+    ResultsStore(RESULTS_DIR).save(recorder.finalize())
     return panels
 
 

@@ -1,4 +1,4 @@
-"""The ``python -m repro`` command line: run, list, and cache maintenance.
+"""The ``python -m repro`` command line: run, diff, list, maintenance.
 
 Subcommands
 -----------
@@ -6,10 +6,27 @@ Subcommands
 ``run <scenario-or-spec.toml>``
     Run a catalog bench by name (``python -m repro run
     fig05_lasso_lognormal`` reproduces the committed
-    ``benchmarks/results`` table bit-identically) or a declarative
-    TOML :class:`~repro.evaluation.spec.ExperimentSpec` by path.
+    ``benchmarks/results`` table bit-identically, and writes the
+    provenance-stamped ``fig05.json`` run record next to it) or a
+    declarative TOML :class:`~repro.evaluation.spec.ExperimentSpec` by
+    path (``--record PATH`` captures its record too).
     ``--executor``/``--cache``/``--trials`` control execution exactly
     like the bench environment knobs.
+
+``diff <run-a> <run-b>`` / ``diff <run-a> --against-catalog <name>``
+    Mechanically compare two run records, separating value drift from
+    provenance drift (code fingerprints, seeds, grid shape).  Exit
+    codes: 0 identical, 1 value drift, 2 incompatible provenance, 3
+    error (unreadable/corrupt record, or an invalid diff invocation
+    such as naming zero or two comparison targets).
+    ``--against-catalog`` resolves the second record from the
+    committed baselines directory
+    (``benchmarks/baselines/<name>.json`` by default).
+
+``results list`` / ``results show``
+    Inspect a run-record store directory: every record's name, id and
+    shape, or one record's full provenance and tables (``--json``
+    prints the raw manifest).
 
 ``list``
     Every registered component (solvers, losses, distributions,
@@ -19,25 +36,40 @@ Subcommands
 ``cache stats`` / ``cache prune``
     Inspect or garbage-collect a cell cache directory: ``prune``
     deletes every cell whose digest no current catalog grid claims
-    (at laptop or paper scale, default trial counts), bounding cache
-    growth across code-fingerprint turnover.  Spec-file cells are
-    *not* claimed by the catalog — prune treats them as orphans.
+    (at laptop or paper scale, default trial counts) *and* no committed
+    baseline record references — a cell a baseline pins stays put even
+    after the code that produced it changes.  Spec-file cells are
+    neither catalog-claimed nor (normally) baseline-pinned — prune
+    treats them as orphans.
 
 Exit status is 0 on success, 2 for usage errors (argparse), and 1 for
-resolution failures (unknown names print the registered menu).
+resolution failures (unknown names print the registered menu); ``diff``
+uses the drift codes above.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from .evaluation import ExperimentSpec, ResultCache, format_panel_block
-from .experiments import bench, bench_names, claimed_digests
+from .evaluation.scenarios import point_fingerprint
+from .exceptions import ResultsError
+from .experiments import bench, bench_names, bench_recorder, claimed_digests
 from .registry import ALL_REGISTRIES, UnknownNameError
+from .results import (
+    ResultsStore,
+    RunRecorder,
+    baseline_digests,
+    cell_capture,
+    diff_records,
+    load_record,
+    save_record,
+)
 
 #: Executor names the CLI accepts (the engine's built-in trio).
 _EXECUTORS = ("serial", "thread", "process")
@@ -69,20 +101,57 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-workers", type=int, default=None, metavar="N",
                      help="pool size for thread/process executors")
     run.add_argument("--results-dir", default=None, metavar="DIR",
-                     help="where to write the bench results table (default: "
-                          "benchmarks/results when it exists)")
+                     help="where to write the bench results table and run "
+                          "record (default: benchmarks/results when it "
+                          "exists)")
+    run.add_argument("--record", default=None, metavar="PATH",
+                     help="write the run record to this explicit path "
+                          "(spec runs only record when this is given)")
+
+    diff = sub.add_parser(
+        "diff", help="compare two run records: value vs provenance drift")
+    diff.add_argument("run_a", help="path to the first run record")
+    diff.add_argument("run_b", nargs="?", default=None,
+                      help="path to the second run record")
+    diff.add_argument("--against-catalog", default=None, metavar="NAME",
+                      help="compare run-a against the committed baseline "
+                           "record of this catalog bench instead of run-b")
+    diff.add_argument("--baselines", default=None, metavar="DIR",
+                      help="committed baseline records directory (default: "
+                           "benchmarks/baselines)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the full diff as JSON instead of the "
+                           "human-readable summary")
+
+    results = sub.add_parser("results", help="run-record store inspection")
+    results_sub = results.add_subparsers(dest="results_command", required=True)
+    results_list = results_sub.add_parser(
+        "list", help="every run record in a store directory")
+    results_list.add_argument("--dir", default=None, metavar="DIR",
+                              help="record store directory (default: "
+                                   "benchmarks/results)")
+    results_show = results_sub.add_parser(
+        "show", help="one record's provenance and tables")
+    results_show.add_argument("record", help="path to a run record")
+    results_show.add_argument("--json", action="store_true",
+                              help="print the raw manifest JSON")
 
     sub.add_parser("list", help="registered components + catalog scenarios")
 
     cache = sub.add_parser("cache", help="cell cache maintenance")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     for name, help_text in (("stats", "count cached cells and orphans"),
-                            ("prune", "delete cells no catalog grid claims")):
+                            ("prune", "delete cells no catalog grid claims "
+                                      "and no baseline record references")):
         sub_parser = cache_sub.add_parser(name, help=help_text)
         sub_parser.add_argument(
             "--cache", metavar="DIR",
             default=os.environ.get("REPRO_BENCH_CACHE") or None,
             help="cell cache directory (default: $REPRO_BENCH_CACHE)")
+        sub_parser.add_argument(
+            "--baselines", metavar="DIR", default=None,
+            help="committed baseline records whose cells are kept "
+                 "(default: benchmarks/baselines when it exists)")
     cache_sub.choices["prune"].add_argument(
         "--dry-run", action="store_true",
         help="report what would be deleted without deleting")
@@ -106,8 +175,30 @@ def _default_results_dir() -> Optional[Path]:
     return candidate / "results" if candidate.is_dir() else None
 
 
+def _default_baselines_dir() -> Optional[Path]:
+    """``benchmarks/baselines`` when run from the repo root, else nothing."""
+    candidate = Path("benchmarks") / "baselines"
+    return candidate if candidate.is_dir() else None
+
+
+def _save_record(record, *, results_dir: Optional[Path],
+                 explicit: Optional[str]) -> None:
+    """Persist a finalized run record and report where it landed.
+
+    ``explicit`` (``--record PATH``) wins over the results directory;
+    with neither, nothing is written.
+    """
+    if explicit:
+        target = save_record(record, Path(explicit))
+    elif results_dir is not None:
+        target = ResultsStore(results_dir).save(record)
+    else:
+        return
+    print(f"[record] wrote {target} run_id={record.run_id}")
+
+
 def _run_bench(args: argparse.Namespace) -> int:
-    """Run one catalog bench; write its results table like the benches do."""
+    """Run one catalog bench; write its results table and run record."""
     definition = bench(args.target, full=args.full)
     cache = ResultCache(args.cache) if args.cache else None
     results_dir = (Path(args.results_dir) if args.results_dir
@@ -117,11 +208,13 @@ def _run_bench(args: argparse.Namespace) -> int:
         print("[run] --trials overrides the bench statistics; not writing "
               "the results table", file=sys.stderr)
         write = False
+    recorder = bench_recorder(definition, executor=args.executor,
+                              full=args.full)
     blocks = []
     for panel in definition.panels:
         series = panel.run(executor=args.executor, cache=cache,
                            n_trials=args.trials,
-                           max_workers=args.max_workers)
+                           max_workers=args.max_workers, recorder=recorder)
         text = format_panel_block(panel.title, panel.x_name,
                                   panel.sweep_values, series)
         print(text)
@@ -133,23 +226,48 @@ def _run_bench(args: argparse.Namespace) -> int:
         out_path = results_dir / f"{definition.result_stem}.txt"
         out_path.write_text("".join(blocks))
         print(f"[run] wrote {out_path}")
+        _save_record(recorder.finalize(), results_dir=results_dir,
+                     explicit=args.record)
+    elif args.record:
+        # --trials overrides change the statistics and digests; an
+        # explicit --record still captures them (clearly not a
+        # baseline), but nothing lands in the shared results dir.
+        _save_record(recorder.finalize(), results_dir=None,
+                     explicit=args.record)
     _print_cache_stats(cache)
     return 0
 
 
 def _run_spec(args: argparse.Namespace, path: Path) -> int:
-    """Run a TOML experiment spec and print its table."""
+    """Run a TOML experiment spec; print its table, optionally record it."""
     spec = ExperimentSpec.from_toml(path)
     cache = ResultCache(args.cache) if args.cache else None
+    trials = spec.n_trials if args.trials is None else args.trials
+    recorder, cells, on_cell = None, [], None
+    if args.record:
+        recorder = RunRecorder(kind="spec", name=spec.name,
+                               result_stem=spec.name,
+                               executor=args.executor, full=False)
+        cells, on_cell = cell_capture()
     result = spec.run(executor=args.executor, cache=cache,
-                      n_trials=args.trials, max_workers=args.max_workers)
+                      n_trials=args.trials, max_workers=args.max_workers,
+                      on_cell=on_cell)
     series = {label: [stat.mean for stat in stats]
               for label, stats in result.series.items()}
-    trials = spec.n_trials if args.trials is None else args.trials
     title = (f"{spec.name}: {spec.metric} ({spec.solver} on {spec.data}, "
              f"{trials} trials, seed {spec.seed})")
     print(format_panel_block(title, spec.sweep.name, spec.sweep.values,
                              series))
+    if recorder is not None:
+        recorder.add_panel(
+            title=title, x_name=spec.sweep.name, sweep_name=spec.sweep.name,
+            series_name=spec.series.name, sweep_values=spec.sweep.values,
+            series_values=spec.series.values, seed=spec.seed,
+            n_trials=trials,
+            point_fingerprint=point_fingerprint(spec.to_scenario()),
+            cells=cells)
+        _save_record(recorder.finalize(), results_dir=None,
+                     explicit=args.record)
     _print_cache_stats(cache)
     return 0
 
@@ -184,6 +302,94 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two run records; exit 0/1/2 by drift class, 3 on errors."""
+    if (args.run_b is None) == (args.against_catalog is None):
+        print("error: pass exactly one of <run-b> or --against-catalog NAME",
+              file=sys.stderr)
+        return 3
+    if args.against_catalog is not None:
+        baselines = (Path(args.baselines) if args.baselines
+                     else _default_baselines_dir())
+        if baselines is None:
+            print("error: no baselines directory (pass --baselines DIR or "
+                  "run from the repo root)", file=sys.stderr)
+            return 3
+        path_b = baselines / f"{args.against_catalog}.json"
+        label_b = f"baseline {path_b}"
+    else:
+        path_b = Path(args.run_b)
+        label_b = str(path_b)
+    try:
+        record_a = load_record(args.run_a)
+        record_b = load_record(path_b)
+    except ResultsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    diff = diff_records(record_a, record_b, a_label=str(args.run_a),
+                        b_label=label_b)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(diff.format_summary())
+    return diff.exit_code
+
+
+# ---------------------------------------------------------------------------
+# results list / show
+# ---------------------------------------------------------------------------
+
+def _cmd_results_list(args: argparse.Namespace) -> int:
+    """Enumerate every run record in a store directory."""
+    directory = Path(args.dir) if args.dir else _default_results_dir()
+    if directory is None or not directory.is_dir():
+        print("error: no record store directory (pass --dir DIR)",
+              file=sys.stderr)
+        return 1
+    paths = ResultsStore(directory).runs()
+    if not paths:
+        print(f"[results] dir={directory} runs=0")
+        return 0
+    for path in paths:
+        try:
+            record = load_record(path)
+        except ResultsError as exc:
+            print(f"  {path.name}: UNREADABLE ({exc})", file=sys.stderr)
+            continue
+        print(f"  {path.name}  name={record.name} kind={record.kind} "
+              f"run_id={record.run_id} panels={len(record.panels)} "
+              f"cells={record.n_cells()} executor={record.executor} "
+              f"v{record.package_version}")
+    return 0
+
+
+def _cmd_results_show(args: argparse.Namespace) -> int:
+    """Print one record's provenance header and its rebuilt tables."""
+    try:
+        record = load_record(args.record)
+    except ResultsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(f"run record {args.record}")
+    print(f"  name={record.name} kind={record.kind} full={record.full}")
+    print(f"  run_id={record.run_id} config_digest={record.config_digest}")
+    print(f"  schema={record.schema_version} engine={record.engine_version} "
+          f"package={record.package_version} executor={record.executor}")
+    for i, panel in enumerate(record.panels):
+        print(f"  panel[{i}] seed={panel.seed} trials={panel.n_trials} "
+              f"cells={len(panel.cells)} "
+              f"fingerprint={panel.point_fingerprint[:16]}…")
+    print(record.format_tables(), end="")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # cache stats / prune
 # ---------------------------------------------------------------------------
 
@@ -200,24 +406,77 @@ def _cache_dir(args: argparse.Namespace) -> Optional[Path]:
     return path
 
 
-def _scan_cache(path: Path) -> Dict[str, List[Path]]:
-    """Split a cache directory's cell files into claimed and orphaned."""
+def _resolve_baselines(args: argparse.Namespace):
+    """The baselines directory to honour: ``(path_or_None, ok)``.
+
+    An explicitly passed ``--baselines`` that does not exist is an
+    error (the caller asked for pins that cannot be read); an absent
+    default is merely "no baselines here" and returns ``(None, True)``.
+    """
+    if args.baselines:
+        path = Path(args.baselines)
+        if not path.is_dir():
+            print(f"error: baselines directory {path} does not exist",
+                  file=sys.stderr)
+            return None, False
+        return path, True
+    return _default_baselines_dir(), True
+
+
+def _scan_cache(path: Path, baseline: set) -> Dict[str, List[Path]]:
+    """Split cell files into catalog-claimed, baseline-pinned, orphaned.
+
+    A cell counts as ``claimed`` when a current catalog grid produces
+    its digest; failing that, as ``baseline`` when a committed baseline
+    record references it (the digest of an older code fingerprint that
+    a baseline still pins); anything else is an orphan.
+    """
     claimed = claimed_digests()
-    split: Dict[str, List[Path]] = {"claimed": [], "orphaned": []}
+    split: Dict[str, List[Path]] = {"claimed": [], "baseline": [],
+                                    "orphaned": []}
     for cell in sorted(path.glob("*.json")):
-        key = "claimed" if cell.stem in claimed else "orphaned"
-        split[key].append(cell)
+        if cell.stem in claimed:
+            split["claimed"].append(cell)
+        elif cell.stem in baseline:
+            split["baseline"].append(cell)
+        else:
+            split["orphaned"].append(cell)
     return split
+
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     path = _cache_dir(args)
     if path is None:
         return 1
-    split = _scan_cache(path)
-    total = split["claimed"] + split["orphaned"]
+    baselines, ok = _resolve_baselines(args)
+    if not ok:
+        return 1
+    # Load each baseline record once: it feeds both the keep-set below
+    # and the store-size report.
+    baseline_runs = (ResultsStore(baselines).runs()
+                     if baselines is not None else [])
+    baseline_records = [load_record(p) for p in baseline_runs]
+    keep = set().union(*(r.cell_digests() for r in baseline_records)) \
+        if baseline_records else set()
+    split = _scan_cache(path, keep)
+    total = split["claimed"] + split["baseline"] + split["orphaned"]
     size = sum(cell.stat().st_size for cell in total)
     print(f"[cache] dir={path} cells={len(total)} bytes={size} "
-          f"claimed={len(split['claimed'])} orphaned={len(split['orphaned'])}")
+          f"claimed={len(split['claimed'])} "
+          f"baseline={len(split['baseline'])} "
+          f"orphaned={len(split['orphaned'])}")
+    if baselines is not None:
+        run_bytes = sum(p.stat().st_size for p in baseline_runs)
+        cells = sum(r.n_cells() for r in baseline_records)
+        print(f"[records] dir={baselines} runs={len(baseline_runs)} "
+              f"cells={cells} bytes={run_bytes}")
+    results_dir = _default_results_dir()
+    if results_dir is not None and results_dir.is_dir():
+        runs = ResultsStore(results_dir).runs()
+        if runs:
+            run_bytes = sum(p.stat().st_size for p in runs)
+            print(f"[records] dir={results_dir} runs={len(runs)} "
+                  f"bytes={run_bytes}")
     return 0
 
 
@@ -225,13 +484,29 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
     path = _cache_dir(args)
     if path is None:
         return 1
-    split = _scan_cache(path)
+    baselines, ok = _resolve_baselines(args)
+    if not ok:
+        return 1
+    if baselines is None:
+        # Pruning without a keep-set would delete exactly the cells the
+        # committed baselines promise to pin — say so out loud instead
+        # of silently downgrading (e.g. when run outside the repo root).
+        print("[prune] warning: no baselines directory found (pass "
+              "--baselines DIR or run from the repo root); "
+              "baseline-pinned cells are NOT protected in this run",
+              file=sys.stderr)
+        keep = set()
+    else:
+        keep = baseline_digests(baselines)
+    split = _scan_cache(path, keep)
     for cell in split["orphaned"]:
         if not args.dry_run:
             cell.unlink()
     verb = "would delete" if args.dry_run else "deleted"
-    print(f"[prune] dir={path} kept={len(split['claimed'])} "
-          f"{verb}={len(split['orphaned'])}")
+    kept = len(split["claimed"]) + len(split["baseline"])
+    print(f"[prune] dir={path} kept={kept} {verb}={len(split['orphaned'])} "
+          f"(catalog={len(split['claimed'])}, "
+          f"baseline={len(split['baseline'])})")
     return 0
 
 
@@ -241,6 +516,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+        if args.command == "results":
+            if args.results_command == "list":
+                return _cmd_results_list(args)
+            return _cmd_results_show(args)
         if args.command == "list":
             return _cmd_list(args)
         if args.command == "cache":

@@ -2,6 +2,7 @@
 
 from .ascii_plots import ascii_plot
 from .engine import (
+    ENGINE_VERSION,
     ProcessExecutor,
     ResultCache,
     SerialExecutor,
@@ -38,6 +39,7 @@ from .tables import (
 
 __all__ = [
     "AxisSpec",
+    "ENGINE_VERSION",
     "ExperimentRunner",
     "ExperimentSpec",
     "FingerprintError",

@@ -32,3 +32,22 @@ class NotFittedError(ReproError, RuntimeError):
 
 class DataShapeError(ConfigurationError):
     """Feature/label arrays have incompatible or unexpected shapes."""
+
+
+class ResultsError(ReproError, ValueError):
+    """A run record could not be built, stored, or loaded.
+
+    Raised for truncated or hand-edited manifests, structurally invalid
+    payloads, integrity-check failures (a record's ``run_id`` no longer
+    matches its content), and non-serialisable run data.  Inherits from
+    :class:`ValueError` so generic CLI error handling keeps working.
+    """
+
+
+class UnknownSchemaError(ResultsError):
+    """A run record declares a schema version this build cannot read.
+
+    Loading refuses outright — there is no best-effort parse of a
+    future manifest layout, because a silently misread provenance field
+    would defeat the point of recording provenance at all.
+    """

@@ -10,12 +10,20 @@
 <name>`` reproduces a bench's committed results table through it.
 """
 
-from .catalog import BenchDef, PanelDef, bench, bench_names, claimed_digests
+from .catalog import (
+    BenchDef,
+    PanelDef,
+    bench,
+    bench_names,
+    bench_recorder,
+    claimed_digests,
+)
 
 __all__ = [
     "BenchDef",
     "PanelDef",
     "bench",
     "bench_names",
+    "bench_recorder",
     "claimed_digests",
 ]

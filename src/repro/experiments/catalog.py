@@ -75,19 +75,39 @@ class PanelDef:
     n_trials: int
 
     def run(self, *, executor="serial", cache=None, n_trials=None,
-            max_workers=None, chunksize: int = 1) -> Dict[object, List[float]]:
+            max_workers=None, chunksize: int = 1,
+            recorder=None) -> Dict[object, List[float]]:
         """Evaluate the panel's grid; returns ``series -> mean curve``.
 
         ``n_trials`` overrides the panel's trial count (changing the
         statistics *and* the cache digests); executor/cache knobs are
         forwarded to :func:`repro.evaluation.run_grid` unchanged.
+
+        ``recorder`` (a :class:`repro.results.RunRecorder`) captures
+        the panel's full provenance — grid axes, seed, trial count,
+        point fingerprint, per-cell job digests and stats — via the
+        engine's ``on_cell`` hook.  Both the pytest benches and
+        ``python -m repro run`` record through this one method, so a
+        bench run and a CLI run of the same name produce identical
+        records.
         """
         trials = self.n_trials if n_trials is None else n_trials
+        cells, on_cell = [], None
+        if recorder is not None:
+            from ..results import cell_capture
+            cells, on_cell = cell_capture()
         result = run_grid(self.point, "x", list(self.sweep_values),
                           "series", list(self.series_values),
                           n_trials=trials, seed=self.seed, executor=executor,
                           max_workers=max_workers, chunksize=chunksize,
-                          cache=cache)
+                          cache=cache, on_cell=on_cell)
+        if recorder is not None:
+            recorder.add_panel(
+                title=self.title, x_name=self.x_name, sweep_name="x",
+                series_name="series", sweep_values=self.sweep_values,
+                series_values=self.series_values, seed=self.seed,
+                n_trials=trials,
+                point_fingerprint=point_fingerprint(self.point), cells=cells)
         return {series: [stat.mean for stat in result.series[series]]
                 for series in self.series_values}
 
@@ -111,6 +131,21 @@ class BenchDef:
 def bench(name: str, full: bool = False) -> BenchDef:
     """Build the named catalog bench at laptop (default) or paper scale."""
     return CATALOG.get(name)(full=full)
+
+
+def bench_recorder(definition: BenchDef, *, executor: str = "serial",
+                   full: bool = False):
+    """A :class:`repro.results.RunRecorder` labelled for one bench run.
+
+    Hand it to each panel's :meth:`PanelDef.run` and ``finalize()``
+    after the last panel; the pytest benches and ``python -m repro run``
+    both build their records through this helper, so the two paths
+    cannot label records differently.
+    """
+    from ..results import RunRecorder
+    return RunRecorder(kind="bench", name=definition.name,
+                       result_stem=definition.result_stem,
+                       executor=executor, full=full)
 
 
 def bench_names() -> Tuple[str, ...]:

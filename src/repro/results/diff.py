@@ -1,0 +1,226 @@
+"""Mechanical comparison of two run records: value vs provenance drift.
+
+:func:`diff_records` walks two :class:`~repro.results.RunRecord`\\ s and
+classifies every difference:
+
+* **provenance drift** — the runs are not the same experiment: a
+  different grid shape or axis values, root seed, trial count, point
+  code fingerprint, cell digest, engine version, bench name, kind, or
+  scale.  Comparing their values would be meaningless, so provenance
+  drift dominates the verdict (exit code 2).
+* **value drift** — same experiment (provenance identical for the
+  panel), different numbers: any per-cell stat that is not
+  bit-for-bit equal.  Exit code 1.
+* **notes** — environment metadata that cannot affect results
+  (executor, package version) and cosmetic labels (titles, axis display
+  names).  Never changes the exit code.
+
+Exit codes: ``0`` identical, ``1`` value drift only, ``2`` provenance
+drift.  (Errors — unreadable or corrupt records — are the CLI's
+exit ``3``, and argparse usage mistakes are its usual ``2``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .record import (
+    PANEL_PROVENANCE_KEYS,
+    RUN_PROVENANCE_KEYS,
+    PanelRecord,
+    RunRecord,
+)
+
+#: Run-level fields whose difference makes two runs incomparable —
+#: the same set ``config_digest`` hashes, imported so the classifier
+#: and the digest cannot drift apart.
+_RUN_PROVENANCE_FIELDS = RUN_PROVENANCE_KEYS
+
+#: Run-level fields recorded as environment metadata only.
+_RUN_NOTE_FIELDS = ("executor", "package_version", "result_stem")
+
+#: Panel fields that are part of the reproducibility contract (they
+#: enter cell seeds or cache digests) — again ``config_digest``'s set.
+_PANEL_PROVENANCE_FIELDS = PANEL_PROVENANCE_KEYS
+
+#: Panel fields that only label the human-readable table.
+_PANEL_NOTE_FIELDS = ("title", "x_name")
+
+#: The per-cell stats compared bit-for-bit for value drift.
+_STAT_FIELDS = ("mean", "std", "minimum", "maximum", "n_trials")
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One observed difference between two records."""
+
+    severity: str  # "provenance" | "value" | "note"
+    location: str  # e.g. "run" or "panel[0] cell (series=20, x=0.5)"
+    field: str
+    a: object
+    b: object
+
+    def to_dict(self) -> Dict[str, object]:
+        """The entry's JSON payload."""
+        return {"severity": self.severity, "location": self.location,
+                "field": self.field, "a": self.a, "b": self.b}
+
+    def format(self) -> str:
+        """One human-readable report line."""
+        return f"{self.location}: {self.field}: {self.a!r} != {self.b!r}"
+
+
+@dataclass
+class RunDiff:
+    """The classified outcome of comparing two run records."""
+
+    a: RunRecord
+    b: RunRecord
+    a_label: str = "a"
+    b_label: str = "b"
+    entries: List[DiffEntry] = field(default_factory=list)
+
+    def _by_severity(self, severity: str) -> List[DiffEntry]:
+        """The entries of one severity, in discovery order."""
+        return [entry for entry in self.entries
+                if entry.severity == severity]
+
+    @property
+    def provenance_drift(self) -> bool:
+        """Whether the runs describe different experiments."""
+        return bool(self._by_severity("provenance"))
+
+    @property
+    def value_drift(self) -> bool:
+        """Whether any comparable cell's stats differ."""
+        return bool(self._by_severity("value"))
+
+    @property
+    def identical(self) -> bool:
+        """No provenance and no value drift (notes do not count)."""
+        return not (self.provenance_drift or self.value_drift)
+
+    @property
+    def exit_code(self) -> int:
+        """``0`` identical, ``1`` value drift, ``2`` provenance drift."""
+        if self.provenance_drift:
+            return 2
+        return 1 if self.value_drift else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The full diff as JSON-expressible data (``--json`` output)."""
+        return {
+            "a": {"label": self.a_label, "run_id": self.a.run_id,
+                  "name": self.a.name, "config_digest": self.a.config_digest},
+            "b": {"label": self.b_label, "run_id": self.b.run_id,
+                  "name": self.b.name, "config_digest": self.b.config_digest},
+            "identical": self.identical,
+            "provenance_drift": self.provenance_drift,
+            "value_drift": self.value_drift,
+            "exit_code": self.exit_code,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def format_summary(self) -> str:
+        """The human-readable drift report the CLI prints."""
+        lines = [
+            f"a: {self.a_label}  (name={self.a.name} run_id={self.a.run_id} "
+            f"config={self.a.config_digest})",
+            f"b: {self.b_label}  (name={self.b.name} run_id={self.b.run_id} "
+            f"config={self.b.config_digest})",
+        ]
+        provenance = self._by_severity("provenance")
+        values = self._by_severity("value")
+        notes = self._by_severity("note")
+        if provenance:
+            lines.append(f"provenance drift ({len(provenance)}):")
+            lines.extend(f"  {entry.format()}" for entry in provenance)
+        else:
+            lines.append("provenance: identical "
+                         "(grids, seeds, trials, fingerprints, digests)")
+        if values:
+            lines.append(f"value drift ({len(values)} stat(s)):")
+            lines.extend(f"  {entry.format()}" for entry in values)
+        elif not provenance:
+            lines.append(f"values: identical "
+                         f"({self.a.n_cells()} cells bit-for-bit)")
+        if notes:
+            lines.append(f"notes ({len(notes)}, non-drift):")
+            lines.extend(f"  {entry.format()}" for entry in notes)
+        verdict = {0: "identical", 1: "VALUE DRIFT",
+                   2: "INCOMPATIBLE PROVENANCE"}[self.exit_code]
+        lines.append(f"verdict: {verdict} (exit {self.exit_code})")
+        return "\n".join(lines)
+
+
+def _diff_cells(a: PanelRecord, b: PanelRecord, where: str,
+                out: List[DiffEntry]) -> None:
+    """Compare one panel's cells pairwise (grids already known equal)."""
+    for cell_a, cell_b in zip(a.cells, b.cells):
+        cell_where = (f"{where} cell ({a.series_name}="
+                      f"{cell_a.series_value!r}, {a.sweep_name}="
+                      f"{cell_a.sweep_value!r})")
+        if (cell_a.series_value != cell_b.series_value
+                or cell_a.sweep_value != cell_b.sweep_value):
+            out.append(DiffEntry("provenance", cell_where, "coordinates",
+                                 [cell_a.series_value, cell_a.sweep_value],
+                                 [cell_b.series_value, cell_b.sweep_value]))
+            continue
+        if cell_a.digest != cell_b.digest:
+            out.append(DiffEntry("provenance", cell_where, "digest",
+                                 cell_a.digest, cell_b.digest))
+        for stat in _STAT_FIELDS:
+            value_a = getattr(cell_a.stats, stat)
+            value_b = getattr(cell_b.stats, stat)
+            if value_a != value_b:
+                out.append(DiffEntry("value", cell_where, f"stats.{stat}",
+                                     value_a, value_b))
+
+
+def diff_records(a: RunRecord, b: RunRecord, a_label: str = "a",
+                 b_label: str = "b") -> RunDiff:
+    """Classify every difference between two run records.
+
+    Panels are paired by position.  A panel whose grid axes differ is
+    reported as provenance drift and its cells are not compared (the
+    cells do not correspond); a panel whose provenance matches has
+    every cell stat compared bit-for-bit.
+    """
+    diff = RunDiff(a=a, b=b, a_label=a_label, b_label=b_label)
+    out = diff.entries
+    for name in _RUN_PROVENANCE_FIELDS:
+        if getattr(a, name) != getattr(b, name):
+            out.append(DiffEntry("provenance", "run", name,
+                                 getattr(a, name), getattr(b, name)))
+    for name in _RUN_NOTE_FIELDS:
+        if getattr(a, name) != getattr(b, name):
+            out.append(DiffEntry("note", "run", name,
+                                 getattr(a, name), getattr(b, name)))
+    if len(a.panels) != len(b.panels):
+        out.append(DiffEntry("provenance", "run", "panel_count",
+                             len(a.panels), len(b.panels)))
+    for i, (panel_a, panel_b) in enumerate(zip(a.panels, b.panels)):
+        where = f"panel[{i}]"
+        for name in _PANEL_NOTE_FIELDS:
+            if getattr(panel_a, name) != getattr(panel_b, name):
+                out.append(DiffEntry("note", where, name,
+                                     getattr(panel_a, name),
+                                     getattr(panel_b, name)))
+        cells_comparable = True
+        for name in _PANEL_PROVENANCE_FIELDS:
+            value_a, value_b = getattr(panel_a, name), getattr(panel_b, name)
+            if isinstance(value_a, tuple):
+                value_a, value_b = list(value_a), list(value_b)
+            if value_a != value_b:
+                out.append(DiffEntry("provenance", where, name,
+                                     value_a, value_b))
+                # Any provenance mismatch — not just grid shape — makes
+                # per-cell value comparison meaningless: a changed
+                # fingerprint or seed is *expected* to move every
+                # value, and reporting the wall of drifted stats would
+                # bury the one line that explains it.
+                cells_comparable = False
+        if cells_comparable:
+            _diff_cells(panel_a, panel_b, where, out)
+    return diff

@@ -9,7 +9,16 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
+from repro.evaluation import build_jobs
 from repro.experiments import claimed_digests
+from repro.results import (
+    ResultsStore,
+    RunRecord,
+    RunRecorder,
+    compute_config_digest,
+    compute_run_id,
+    load_record,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -79,6 +88,148 @@ class TestRun:
         assert "hits=0 misses=4" in capsys.readouterr().out
 
 
+def _spec_record(tmp_path, capsys, stem="run_a"):
+    """Run the tiny spec once with ``--record``; return the record path."""
+    spec_path = tmp_path / "tiny.toml"
+    spec_path.write_text(TINY_SPEC)
+    record_path = tmp_path / f"{stem}.json"
+    assert main(["run", str(spec_path), "--record", str(record_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"[record] wrote {record_path}" in out
+    return record_path
+
+
+def _perturbed_copy(record_path, target, mutate):
+    """Write a deliberately edited (re-stamped) copy of a record."""
+    payload = json.loads(record_path.read_text())
+    mutate(payload)
+    payload["config_digest"] = compute_config_digest(payload)
+    payload["run_id"] = compute_run_id(payload)
+    target.write_text(json.dumps(payload))
+    return target
+
+
+class TestDiff:
+    """Exit codes: 0 identical, 1 value drift, 2 provenance, 3 errors."""
+
+    def test_identical_records_exit_zero(self, tmp_path, capsys):
+        record = _spec_record(tmp_path, capsys)
+        assert main(["diff", str(record), str(record)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: identical (exit 0)" in out
+        assert "values: identical" in out
+
+    def test_value_drift_exits_one(self, tmp_path, capsys):
+        record = _spec_record(tmp_path, capsys)
+
+        def bump_mean(payload):
+            payload["panels"][0]["cells"][0]["stats"]["mean"] += 0.5
+
+        drifted = _perturbed_copy(record, tmp_path / "drift.json", bump_mean)
+        assert main(["diff", str(record), str(drifted)]) == 1
+        out = capsys.readouterr().out
+        assert "value drift" in out
+        assert "stats.mean" in out
+        assert "provenance: identical" in out
+
+    def test_provenance_drift_exits_two(self, tmp_path, capsys):
+        record = _spec_record(tmp_path, capsys)
+
+        def new_fingerprint(payload):
+            payload["panels"][0]["point_fingerprint"] = "deadbeef"
+
+        drifted = _perturbed_copy(record, tmp_path / "prov.json",
+                                  new_fingerprint)
+        assert main(["diff", str(record), str(drifted)]) == 2
+        out = capsys.readouterr().out
+        assert "INCOMPATIBLE PROVENANCE" in out
+        assert "point_fingerprint" in out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        record = _spec_record(tmp_path, capsys)
+
+        def bump_mean(payload):
+            payload["panels"][0]["cells"][0]["stats"]["mean"] += 0.5
+
+        drifted = _perturbed_copy(record, tmp_path / "drift.json", bump_mean)
+        code = main(["diff", str(record), str(drifted), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == code == 1
+        assert payload["value_drift"] and not payload["provenance_drift"]
+        assert payload["a"]["run_id"] == load_record(record).run_id
+        (entry,) = [e for e in payload["entries"]
+                    if e["severity"] == "value"]
+        assert entry["field"] == "stats.mean"
+
+    def test_unreadable_record_exits_three(self, tmp_path, capsys):
+        record = _spec_record(tmp_path, capsys)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        assert main(["diff", str(record), str(bad)]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_against_catalog_uses_baselines_dir(self, tmp_path, capsys):
+        record = _spec_record(tmp_path, capsys)
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        (baselines / "tiny.json").write_text(record.read_text())
+        assert main(["diff", str(record), "--against-catalog", "tiny",
+                     "--baselines", str(baselines)]) == 0
+
+    def test_requires_exactly_one_comparison_target(self, tmp_path, capsys):
+        record = _spec_record(tmp_path, capsys)
+        assert main(["diff", str(record)]) == 3
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["diff", str(record), str(record),
+                     "--against-catalog", "x"]) == 3
+
+
+class TestRecordPath:
+    def test_record_path_is_honoured_exactly(self, tmp_path, capsys):
+        # --record out.rec must write out.rec, not rewrite it to .json.
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        target = tmp_path / "out.rec"
+        assert main(["run", str(spec_path), "--record", str(target)]) == 0
+        assert f"[record] wrote {target}" in capsys.readouterr().out
+        assert target.exists()
+        assert load_record(target).name == "cli_tiny"
+
+
+class TestResultsCommands:
+    def test_list_shows_records(self, tmp_path, capsys):
+        record_path = _spec_record(tmp_path, capsys)
+        assert main(["results", "list", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run_a.json" in out
+        assert "name=cli_tiny kind=spec" in out
+        assert load_record(record_path).run_id in out
+
+    def test_list_empty_directory(self, tmp_path, capsys):
+        assert main(["results", "list", "--dir", str(tmp_path)]) == 0
+        assert "runs=0" in capsys.readouterr().out
+
+    def test_show_prints_provenance_and_table(self, tmp_path, capsys):
+        record_path = _spec_record(tmp_path, capsys)
+        assert main(["results", "show", str(record_path)]) == 0
+        out = capsys.readouterr().out
+        assert "name=cli_tiny kind=spec" in out
+        assert "run_id=" in out and "fingerprint=" in out
+        assert "epsilon" in out  # the rebuilt table block
+
+    def test_show_json_round_trips(self, tmp_path, capsys):
+        record_path = _spec_record(tmp_path, capsys)
+        assert main(["results", "show", str(record_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert RunRecord.from_dict(payload) == load_record(record_path)
+
+    def test_show_corrupt_record_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["results", "show", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestCacheMaintenance:
     def _fake_cache(self, tmp_path, n_claimed=3, n_orphans=2):
         """A cache with files named by real claimed digests plus orphans.
@@ -120,6 +271,72 @@ class TestCacheMaintenance:
                      "--dry-run"]) == 0
         assert "would delete=2" in capsys.readouterr().out
         assert sorted(cache.glob("*.json")) == before
+
+    def _baseline_pinned_cache(self, tmp_path):
+        """A cache holding one baseline-pinned cell and one true orphan.
+
+        The pinned cell's digest comes from a real engine job built
+        with a code token no catalog scenario uses — exactly the state
+        after a code edit retires a cell that a committed baseline
+        record still references.
+        """
+        cache = tmp_path / "cells"
+        cache.mkdir()
+        (job,) = build_jobs("x", [1], "series", ["only"], 2, 123,
+                            code_token="retired-code")
+        (cache / f"{job.digest}.json").write_text(json.dumps([0.1, 0.2]))
+        orphan = cache / f"{'f' * 32}.json"
+        orphan.write_text(json.dumps([0.3]))
+        baselines = tmp_path / "baselines"
+        recorder = RunRecorder(kind="bench", name="pin", result_stem="pin")
+        recorder.add_panel(
+            title="t", x_name="x", sweep_name="x", series_name="series",
+            sweep_values=[1], series_values=["only"], seed=123, n_trials=2,
+            point_fingerprint="retired-code", cells=[(job, [0.1, 0.2])])
+        ResultsStore(baselines).save(recorder.finalize())
+        return cache, baselines, cache / f"{job.digest}.json", orphan
+
+    def test_prune_never_deletes_baseline_referenced_cells(self, tmp_path,
+                                                           capsys):
+        cache, baselines, pinned, orphan = self._baseline_pinned_cache(
+            tmp_path)
+        assert main(["cache", "prune", "--cache", str(cache),
+                     "--baselines", str(baselines)]) == 0
+        out = capsys.readouterr().out
+        assert "kept=1 deleted=1" in out
+        assert "baseline=1" in out
+        assert pinned.exists()  # the keep-set wins over catalog orphaning
+        assert not orphan.exists()
+
+    def test_stats_counts_baseline_pinned_cells_and_records(self, tmp_path,
+                                                            capsys):
+        cache, baselines, _, _ = self._baseline_pinned_cache(tmp_path)
+        assert main(["cache", "stats", "--cache", str(cache),
+                     "--baselines", str(baselines)]) == 0
+        out = capsys.readouterr().out
+        assert "cells=2" in out and "baseline=1" in out and "orphaned=1" in out
+        assert f"[records] dir={baselines} runs=1 cells=1" in out
+
+    def test_prune_warns_loudly_when_no_baselines_found(self, tmp_path,
+                                                        capsys, monkeypatch):
+        # Outside the repo root the default baselines dir is absent;
+        # prune must say the pins are unprotected, never silently
+        # downgrade into deleting baseline-referenced cells.
+        cache = tmp_path / "cells"
+        cache.mkdir()
+        monkeypatch.chdir(tmp_path)
+        assert main(["cache", "prune", "--cache", str(cache)]) == 0
+        err = capsys.readouterr().err
+        assert "warning: no baselines directory" in err
+        assert "NOT protected" in err
+
+    def test_explicit_missing_baselines_dir_is_an_error(self, tmp_path,
+                                                        capsys):
+        cache = tmp_path / "cells"
+        cache.mkdir()
+        assert main(["cache", "prune", "--cache", str(cache),
+                     "--baselines", str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().err
 
     def test_cache_commands_require_a_directory(self, capsys, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)

@@ -1,0 +1,294 @@
+"""The provenance-stamped results store: round trips, integrity, schema.
+
+Covers the three failure-mode contracts the store promises:
+
+* a write/read round trip is lossless (record equality, byte-identical
+  re-serialisation);
+* truncated or hand-edited manifests raise a clear ``ResultsError`` —
+  the stored digests are *verified* on load, never trusted;
+* a manifest declaring an unknown future schema version refuses to
+  load outright (``UnknownSchemaError``), with no best-effort parse.
+"""
+
+import json
+
+import pytest
+
+from repro.evaluation import build_jobs
+from repro.exceptions import ReproError
+from repro.results import (
+    ResultsError,
+    ResultsStore,
+    RunRecord,
+    RunRecorder,
+    UnknownSchemaError,
+    baseline_digests,
+    compute_config_digest,
+    compute_run_id,
+    load_record,
+)
+
+FINGERPRINT = "cafe" * 8
+
+
+def tiny_record(name="tiny_bench", seed=7, executor="serial",
+                fingerprint=FINGERPRINT, scale=1.0):
+    """A small two-series record built through the real recorder path.
+
+    The cell "trial values" are synthetic (no solver runs), but the
+    jobs — and hence the digests — are the engine's own.
+    """
+    sweep = [1, 2]
+    series = ["a", "b"]
+    jobs = build_jobs("x", sweep, "series", series, 3, seed,
+                      code_token=fingerprint)
+    recorder = RunRecorder(kind="bench", name=name, result_stem=name,
+                           executor=executor)
+    recorder.add_panel(
+        title="tiny panel", x_name="x", sweep_name="x", series_name="series",
+        sweep_values=sweep, series_values=series, seed=seed, n_trials=3,
+        point_fingerprint=fingerprint,
+        cells=[(job, [scale * (i + k * 0.25) for k in range(3)])
+               for i, job in enumerate(jobs)])
+    return recorder.finalize()
+
+
+def restamped(payload):
+    """Re-stamp a deliberately edited payload's digests, then load it."""
+    payload["config_digest"] = compute_config_digest(payload)
+    payload["run_id"] = compute_run_id(payload)
+    return RunRecord.from_dict(payload)
+
+
+class TestRoundTrip:
+    def test_save_load_equality(self, tmp_path):
+        record = tiny_record()
+        path = ResultsStore(tmp_path).save(record)
+        loaded = load_record(path)
+        assert loaded == record
+        assert loaded.to_dict() == record.to_dict()
+
+    def test_dict_round_trip(self):
+        record = tiny_record()
+        assert RunRecord.from_dict(record.to_dict()) == record
+
+    def test_save_is_byte_deterministic(self, tmp_path):
+        record = tiny_record()
+        path_a = ResultsStore(tmp_path / "a").save(record)
+        path_b = ResultsStore(tmp_path / "b").save(record)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_run_id_ignores_environment_metadata(self):
+        # Executors are bit-identical by the engine's contract, so the
+        # same experiment run by a different executor is the same run.
+        serial = tiny_record(executor="serial")
+        thread = tiny_record(executor="thread")
+        assert serial.run_id == thread.run_id
+        assert serial.config_digest == thread.config_digest
+        assert serial.executor != thread.executor
+
+    def test_different_values_different_run_id_same_config(self):
+        a, b = tiny_record(scale=1.0), tiny_record(scale=2.0)
+        assert a.run_id != b.run_id
+        assert a.config_digest == b.config_digest  # same experiment
+
+    def test_different_seed_different_config_digest(self):
+        a, b = tiny_record(seed=7), tiny_record(seed=8)
+        assert a.config_digest != b.config_digest
+
+    def test_store_load_by_stem(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.save(tiny_record())
+        assert store.load("tiny_bench") == tiny_record()
+
+    def test_store_runs_sorted(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.save(tiny_record(name="zz"))
+        store.save(tiny_record(name="aa"))
+        assert [p.name for p in store.runs()] == ["aa.json", "zz.json"]
+
+    def test_cell_digests_and_counts(self):
+        record = tiny_record()
+        assert record.n_cells() == 4
+        assert len(record.cell_digests()) == 4
+
+    def test_save_keeps_existing_record_with_equal_run_id(self, tmp_path):
+        # Environment metadata (executor) is excluded from run_id, so a
+        # thread-executor rerun must not churn the committed serial
+        # record's bytes.
+        store = ResultsStore(tmp_path)
+        path = store.save(tiny_record(executor="serial"))
+        before = path.read_bytes()
+        store.save(tiny_record(executor="thread"))
+        assert path.read_bytes() == before
+        assert load_record(path).executor == "serial"
+
+    def test_save_replaces_record_with_different_values(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.save(tiny_record(scale=1.0))
+        store.save(tiny_record(scale=2.0))
+        assert load_record(path) == tiny_record(scale=2.0)
+
+    def test_save_replaces_unreadable_existing_file(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.save(tiny_record())
+        path.write_text("{corrupt")
+        store.save(tiny_record())
+        assert load_record(path) == tiny_record()
+
+
+class TestCorruption:
+    def _saved(self, tmp_path):
+        return ResultsStore(tmp_path).save(tiny_record())
+
+    def test_truncated_manifest_raises(self, tmp_path):
+        path = self._saved(tmp_path)
+        path.write_text(path.read_text()[:150])
+        with pytest.raises(ResultsError, match="truncated or corrupt"):
+            load_record(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ResultsError, match="cannot read"):
+            load_record(tmp_path / "nope.json")
+
+    def test_hand_edited_value_fails_integrity(self, tmp_path):
+        path = self._saved(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["panels"][0]["cells"][0]["stats"]["mean"] += 1.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ResultsError, match="integrity check failed"):
+            load_record(path)
+
+    def test_hand_edited_provenance_fails_config_digest(self, tmp_path):
+        # Re-stamping only run_id is not enough: the provenance digest
+        # is verified independently, so a fingerprint edit with a stale
+        # config_digest still fails loudly.
+        path = self._saved(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["panels"][0]["point_fingerprint"] = "deadbeef"
+        payload["run_id"] = compute_run_id(payload)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ResultsError, match="config_digest"):
+            load_record(path)
+
+    def test_deliberate_edit_via_restamp_loads(self):
+        payload = tiny_record().to_dict()
+        payload["panels"][0]["point_fingerprint"] = "deadbeef"
+        assert restamped(payload).panels[0].point_fingerprint == "deadbeef"
+
+    def test_missing_key_raises_naming_it(self):
+        payload = tiny_record().to_dict()
+        del payload["engine_version"]
+        with pytest.raises(ResultsError, match="engine_version"):
+            RunRecord.from_dict(payload)
+
+    def test_wrong_stats_type_raises(self):
+        payload = tiny_record().to_dict()
+        payload["panels"][0]["cells"][0]["stats"]["mean"] = "fast"
+        with pytest.raises(ResultsError, match="mean"):
+            RunRecord.from_dict(payload)
+
+    def test_wrong_cell_count_raises(self):
+        payload = tiny_record().to_dict()
+        del payload["panels"][0]["cells"][0]
+        with pytest.raises(ResultsError, match="cells"):
+            RunRecord.from_dict(payload)
+
+    def test_permuted_cells_raise(self):
+        # A permutation would silently print curves against the wrong
+        # coordinates; the grid correspondence is enforced on load.
+        payload = tiny_record().to_dict()
+        cells = payload["panels"][0]["cells"]
+        cells[0], cells[1] = cells[1], cells[0]
+        with pytest.raises(ResultsError, match="series-major"):
+            restamped(payload)
+
+    def test_mislabelled_cell_coordinate_raises(self):
+        payload = tiny_record().to_dict()
+        payload["panels"][0]["cells"][0]["series_value"] = "not-an-axis-value"
+        with pytest.raises(ResultsError, match="declared grid axes"):
+            restamped(payload)
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(ResultsError, ReproError)
+        assert issubclass(ResultsError, ValueError)
+        assert issubclass(UnknownSchemaError, ResultsError)
+
+
+class TestSchemaGate:
+    def test_future_schema_version_refuses_to_load(self, tmp_path):
+        payload = tiny_record().to_dict()
+        payload["schema_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(UnknownSchemaError, match="schema version 99"):
+            load_record(path)
+
+    def test_schema_checked_before_everything_else(self):
+        # A future-schema payload must refuse on the version alone,
+        # even if the rest of the manifest is gibberish to this build.
+        with pytest.raises(UnknownSchemaError):
+            RunRecord.from_dict({"schema_version": 2, "who": "knows"})
+
+    def test_non_integer_schema_raises(self):
+        with pytest.raises(ResultsError, match="schema_version"):
+            RunRecord.from_dict({"schema_version": "1"})
+
+
+class TestRecorder:
+    def test_kind_validated(self):
+        with pytest.raises(ResultsError, match="kind"):
+            RunRecorder(kind="vibes", name="x", result_stem="x")
+
+    def test_empty_run_refused(self):
+        with pytest.raises(ResultsError, match="at least one panel"):
+            RunRecorder(kind="bench", name="x", result_stem="x").finalize()
+
+    def test_non_json_coordinate_refused(self):
+        recorder = RunRecorder(kind="bench", name="x", result_stem="x")
+        with pytest.raises(ResultsError, match="not JSON-expressible"):
+            recorder.add_panel(
+                title="t", x_name="x", sweep_name="x", series_name="series",
+                sweep_values=[object()], series_values=[1], seed=0,
+                n_trials=1, point_fingerprint="f", cells=[])
+
+    def test_non_finite_coordinate_refused(self):
+        recorder = RunRecorder(kind="bench", name="x", result_stem="x")
+        with pytest.raises(ResultsError, match="non-finite"):
+            recorder.add_panel(
+                title="t", x_name="x", sweep_name="x", series_name="series",
+                sweep_values=[float("inf")], series_values=[1], seed=0,
+                n_trials=1, point_fingerprint="f", cells=[])
+
+    def test_non_finite_trial_values_refused_at_finalize(self):
+        # A diverged trial must fail loudly, not write a manifest with
+        # a bare NaN token that strict JSON parsers reject.
+        from repro.evaluation import build_jobs as _build
+        (job,) = _build("x", [1], "series", ["a"], 2, 0, code_token="f")
+        recorder = RunRecorder(kind="bench", name="x", result_stem="x")
+        recorder.add_panel(
+            title="t", x_name="x", sweep_name="x", series_name="series",
+            sweep_values=[1], series_values=["a"], seed=0, n_trials=2,
+            point_fingerprint="f", cells=[(job, [0.5, float("nan")])])
+        with pytest.raises(ResultsError, match="non-finite"):
+            recorder.finalize()
+
+
+class TestBaselineDigests:
+    def test_collects_union_of_cell_digests(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        a, b = tiny_record(name="a"), tiny_record(name="b", seed=9)
+        store.save(a)
+        store.save(b)
+        assert baseline_digests(tmp_path) == a.cell_digests() | b.cell_digests()
+
+    def test_corrupt_baseline_raises_not_skips(self, tmp_path):
+        # Silently skipping a corrupt baseline would let prune delete
+        # exactly the cells it was pinning.
+        ResultsStore(tmp_path).save(tiny_record())
+        (tmp_path / "bad.json").write_text("{nope")
+        with pytest.raises(ResultsError):
+            baseline_digests(tmp_path)
+
+    def test_empty_directory_is_empty_set(self, tmp_path):
+        assert baseline_digests(tmp_path) == set()
