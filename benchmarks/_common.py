@@ -27,8 +27,8 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from repro.evaluation import format_panel_block, run_grid
-from repro.experiments import bench, bench_recorder
 from repro.results import ResultsStore
+from repro.service import ServiceCore
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
@@ -106,39 +106,34 @@ def _resolve_executor(point) -> str:
     return EXECUTOR
 
 
+#: The one service core every bench in a pytest session runs through:
+#: shared cell cache, shared single-flight map — exactly the tier the
+#: CLI and ``python -m repro serve`` sit on, which is what makes bench,
+#: CLI, and served runs bit-identical (equal ``run_id``).
+CORE = ServiceCore(results_dir=RESULTS_DIR, cache=CACHE_DIR)
+
+
 def run_catalog_bench(name: str) -> List[Dict[object, List[float]]]:
     """Run every panel of the named catalog bench; emit tables + record.
 
     The single bench entry point: grids, seeds, trial counts and titles
-    come from :func:`repro.experiments.bench` (at ``REPRO_BENCH_FULL``
-    scale), execution goes through the same
-    :meth:`~repro.experiments.catalog.PanelDef.run` the CLI uses (with
-    the bench env knobs applied), and each panel's table is printed and
-    persisted exactly as ``python -m repro run <name>`` writes it.
-    A provenance-stamped run record (``repro.results``) lands next to
-    the text table — ``results/<stem>.json`` — identical to the CLI's,
-    so ``python -m repro diff`` can compare bench and CLI runs freely.
-    Returns the panels' ``series -> mean curve`` mappings, in catalog
-    order, for the caller's shape assertions.
+    come from the catalog, and execution goes through the same
+    :meth:`~repro.service.ServiceCore.run_bench` the CLI and the HTTP
+    server use (with the bench env knobs applied), so each panel's
+    table is printed and persisted exactly as ``python -m repro run
+    <name>`` writes it.  A provenance-stamped run record
+    (``repro.results``) lands next to the text table —
+    ``results/<stem>.json`` — identical to the CLI's, so ``python -m
+    repro diff`` can compare bench and CLI runs freely.  Returns the
+    panels' ``series -> mean curve`` mappings, in catalog order, for
+    the caller's shape assertions.
     """
-    definition = bench(name, full=FULL)
-    # Record the executor that actually runs, not the env knob: an
-    # unpicklable point demotes to serial, and the record's metadata
-    # must not claim a process-pool run that never happened.
-    resolved = [_resolve_executor(panel.point) for panel in definition.panels]
-    executor = resolved[0] if len(set(resolved)) == 1 else "mixed"
-    recorder = bench_recorder(definition, executor=executor, full=FULL)
-    panels = []
-    for panel, panel_executor in zip(definition.panels, resolved):
-        # The same PanelDef.run the CLI uses — one execution path, so
-        # bench-vs-CLI bit-identity cannot drift.
-        series = panel.run(executor=panel_executor,
-                           cache=CACHE_DIR, recorder=recorder)
-        emit_table(definition.result_stem, panel.title, panel.x_name,
-                   panel.sweep_values, series)
-        panels.append(series)
-    ResultsStore(RESULTS_DIR).save(recorder.finalize())
-    return panels
+    run = CORE.run_bench(name, full=FULL, executor=EXECUTOR,
+                         demote_unpicklable=True)
+    for block in run.blocks:
+        _emit_block(run.definition.result_stem, block)
+    ResultsStore(RESULTS_DIR).save(run.record)
+    return list(run.panels)
 
 
 #: Result files already written this run — the first panel of a bench
@@ -148,10 +143,8 @@ def run_catalog_bench(name: str) -> List[Dict[object, List[float]]]:
 _WRITTEN: set = set()
 
 
-def emit_table(name: str, title: str, x_name: str, x_values: Sequence,
-               series: Dict[object, List[float]]) -> str:
-    """Print the figure table and persist it under benchmarks/results/."""
-    text = format_panel_block(title, x_name, x_values, series)
+def _emit_block(name: str, text: str) -> str:
+    """Print a formatted table block and persist it under results/."""
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     mode = "a" if name in _WRITTEN else "w"
@@ -159,6 +152,13 @@ def emit_table(name: str, title: str, x_name: str, x_values: Sequence,
     with open(RESULTS_DIR / f"{name}.txt", mode) as fh:
         fh.write(text)
     return text
+
+
+def emit_table(name: str, title: str, x_name: str, x_values: Sequence,
+               series: Dict[object, List[float]]) -> str:
+    """Print the figure table and persist it under benchmarks/results/."""
+    return _emit_block(name, format_panel_block(title, x_name, x_values,
+                                                series))
 
 
 def assert_finite(series: Dict[object, List[float]]) -> None:

@@ -1,0 +1,61 @@
+"""Regenerate the committed engine perf baseline: BENCH_engine.json.
+
+Runs the cheapest catalog bench cold through the service core and
+snapshots the per-cell compute wall-times the run record captured
+(``record.timings`` — measured inside the engine workers, honest under
+any executor).  The snapshot is a *coarse* tracking artifact: timings
+are environment, excluded from ``run_id``/``config_digest``, so the
+baseline regenerates freely without perturbing any bit-identity gate.
+Regenerate deliberately, on quiet hardware::
+
+    PYTHONPATH=src python benchmarks/record_perf.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from repro.service import ServiceCore
+
+BENCH = "ablation_truncation_threshold"
+TARGET = Path(__file__).parent / "perf" / "BENCH_engine.json"
+
+
+def main() -> int:
+    """Run the bench uncached and write the timing snapshot; 0 on success."""
+    core = ServiceCore()  # no cache: every cell computes, every cell times
+    run = core.run_bench(BENCH)
+    record = run.record
+    assert record.timings is not None, "engine reported no cell timings"
+    cells = [
+        {"digest": cell.digest, "seconds": round(seconds, 6)}
+        for panel, row in zip(record.panels, record.timings)
+        for cell, seconds in zip(panel.cells, row)
+    ]
+    payload = {
+        "bench": BENCH,
+        "run_id": record.run_id,
+        "config_digest": record.config_digest,
+        "executor": record.executor,
+        "n_cells": len(cells),
+        "cells": cells,
+        "total_seconds": round(sum(c["seconds"] for c in cells), 6),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    TARGET.parent.mkdir(parents=True, exist_ok=True)
+    TARGET.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"[perf] wrote {TARGET} total={payload['total_seconds']}s "
+          f"over {payload['n_cells']} cells")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

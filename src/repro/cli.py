@@ -31,7 +31,14 @@ Subcommands
 ``list``
     Every registered component (solvers, losses, distributions,
     datasets, data generators, estimators, metrics) and every catalog
-    scenario.
+    scenario.  ``--json`` emits the machine-readable listing (the
+    server's ``GET /catalog`` payload plus the registries).
+
+``serve``
+    Serve the catalog, run records, and cached cells over HTTP and
+    accept ``POST /run`` compute requests — concurrent cold requests
+    for the same bench coalesce onto one engine computation per cell
+    digest (see :mod:`repro.server`).
 
 ``cache stats`` / ``cache prune``
     Inspect or garbage-collect a cell cache directory: ``prune``
@@ -54,21 +61,24 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from .evaluation import ExperimentSpec, ResultCache, format_panel_block
-from .evaluation.scenarios import point_fingerprint
+from .evaluation import ExperimentSpec, ResultCache
 from .exceptions import ResultsError
-from .experiments import bench, bench_names, bench_recorder, claimed_digests
+from .experiments import bench, bench_names
 from .registry import ALL_REGISTRIES, UnknownNameError
 from .results import (
     ResultsStore,
-    RunRecorder,
     baseline_digests,
-    cell_capture,
     diff_records,
     load_record,
     save_record,
+)
+from .service import (
+    ServiceCore,
+    cache_stats_payload,
+    list_payload,
+    record_store_entry,
 )
 
 #: Executor names the CLI accepts (the engine's built-in trio).
@@ -136,7 +146,31 @@ def _build_parser() -> argparse.ArgumentParser:
     results_show.add_argument("--json", action="store_true",
                               help="print the raw manifest JSON")
 
-    sub.add_parser("list", help="registered components + catalog scenarios")
+    list_parser = sub.add_parser(
+        "list", help="registered components + catalog scenarios")
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable listing (the same "
+                                  "payload the server's GET /catalog "
+                                  "serves, plus the registries)")
+
+    serve = sub.add_parser(
+        "serve", help="serve catalog, records, and cells over HTTP "
+                      "(coalesced compute)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="port to listen on (default: 8321; 0 picks an "
+                            "ephemeral port)")
+    serve.add_argument("--results-dir", default=None, metavar="DIR",
+                       help="run-record store served at /records "
+                            "(default: benchmarks/results when it exists)")
+    serve.add_argument("--baselines", default=None, metavar="DIR",
+                       help="committed baseline records directory (default: "
+                            "benchmarks/baselines when it exists)")
+    serve.add_argument("--cache", metavar="DIR",
+                       default=os.environ.get("REPRO_BENCH_CACHE") or None,
+                       help="cell cache backing /cells and POST /run "
+                            "(default: $REPRO_BENCH_CACHE)")
 
     cache = sub.add_parser("cache", help="cell cache maintenance")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -155,6 +189,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_sub.choices["prune"].add_argument(
         "--dry-run", action="store_true",
         help="report what would be deleted without deleting")
+    cache_sub.choices["stats"].add_argument(
+        "--json", action="store_true",
+        help="machine-readable stats (shares the server's serializers)")
     return parser
 
 
@@ -198,9 +235,13 @@ def _save_record(record, *, results_dir: Optional[Path],
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    """Run one catalog bench; write its results table and run record."""
-    definition = bench(args.target, full=args.full)
-    cache = ResultCache(args.cache) if args.cache else None
+    """Run one catalog bench; write its results table and run record.
+
+    A thin adapter: execution, recording, and caching all happen inside
+    :meth:`repro.service.ServiceCore.run_bench` (the same path the
+    benches and ``POST /run`` use); this function only owns the CLI's
+    write policy and output.
+    """
     results_dir = (Path(args.results_dir) if args.results_dir
                    else _default_results_dir())
     write = args.trials is None and results_dir is not None
@@ -208,67 +249,40 @@ def _run_bench(args: argparse.Namespace) -> int:
         print("[run] --trials overrides the bench statistics; not writing "
               "the results table", file=sys.stderr)
         write = False
-    recorder = bench_recorder(definition, executor=args.executor,
-                              full=args.full)
-    blocks = []
-    for panel in definition.panels:
-        series = panel.run(executor=args.executor, cache=cache,
-                           n_trials=args.trials,
-                           max_workers=args.max_workers, recorder=recorder)
-        text = format_panel_block(panel.title, panel.x_name,
-                                  panel.sweep_values, series)
-        print(text)
-        blocks.append(text)
+    core = ServiceCore(results_dir=results_dir, cache=args.cache or None)
+    run = core.run_bench(args.target, full=args.full, n_trials=args.trials,
+                         executor=args.executor,
+                         max_workers=args.max_workers)
+    for block in run.blocks:
+        print(block)
     if write:
         # Replace (never stack onto) any stale table, and only once the
         # whole bench has succeeded.
         results_dir.mkdir(parents=True, exist_ok=True)
-        out_path = results_dir / f"{definition.result_stem}.txt"
-        out_path.write_text("".join(blocks))
+        out_path = results_dir / f"{run.definition.result_stem}.txt"
+        out_path.write_text("".join(run.blocks))
         print(f"[run] wrote {out_path}")
-        _save_record(recorder.finalize(), results_dir=results_dir,
+        _save_record(run.record, results_dir=results_dir,
                      explicit=args.record)
     elif args.record:
         # --trials overrides change the statistics and digests; an
         # explicit --record still captures them (clearly not a
         # baseline), but nothing lands in the shared results dir.
-        _save_record(recorder.finalize(), results_dir=None,
-                     explicit=args.record)
-    _print_cache_stats(cache)
+        _save_record(run.record, results_dir=None, explicit=args.record)
+    _print_cache_stats(core.cache)
     return 0
 
 
 def _run_spec(args: argparse.Namespace, path: Path) -> int:
     """Run a TOML experiment spec; print its table, optionally record it."""
     spec = ExperimentSpec.from_toml(path)
-    cache = ResultCache(args.cache) if args.cache else None
-    trials = spec.n_trials if args.trials is None else args.trials
-    recorder, cells, on_cell = None, [], None
+    core = ServiceCore(cache=args.cache or None)
+    run = core.run_spec(spec, executor=args.executor, n_trials=args.trials,
+                        max_workers=args.max_workers)
+    print(run.block)
     if args.record:
-        recorder = RunRecorder(kind="spec", name=spec.name,
-                               result_stem=spec.name,
-                               executor=args.executor, full=False)
-        cells, on_cell = cell_capture()
-    result = spec.run(executor=args.executor, cache=cache,
-                      n_trials=args.trials, max_workers=args.max_workers,
-                      on_cell=on_cell)
-    series = {label: [stat.mean for stat in stats]
-              for label, stats in result.series.items()}
-    title = (f"{spec.name}: {spec.metric} ({spec.solver} on {spec.data}, "
-             f"{trials} trials, seed {spec.seed})")
-    print(format_panel_block(title, spec.sweep.name, spec.sweep.values,
-                             series))
-    if recorder is not None:
-        recorder.add_panel(
-            title=title, x_name=spec.sweep.name, sweep_name=spec.sweep.name,
-            series_name=spec.series.name, sweep_values=spec.sweep.values,
-            series_values=spec.series.values, seed=spec.seed,
-            n_trials=trials,
-            point_fingerprint=point_fingerprint(spec.to_scenario()),
-            cells=cells)
-        _save_record(recorder.finalize(), results_dir=None,
-                     explicit=args.record)
-    _print_cache_stats(cache)
+        _save_record(run.record, results_dir=None, explicit=args.record)
+    _print_cache_stats(core.cache)
     return 0
 
 
@@ -287,7 +301,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 # list
 # ---------------------------------------------------------------------------
 
-def _cmd_list(_: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        core = ServiceCore(results_dir=_default_results_dir())
+        print(json.dumps(list_payload(core), indent=1, sort_keys=True))
+        return 0
     print("catalog scenarios (python -m repro run <name>):")
     for name in bench_names():
         definition = bench(name)
@@ -349,7 +367,7 @@ def _cmd_results_list(args: argparse.Namespace) -> int:
         print("error: no record store directory (pass --dir DIR)",
               file=sys.stderr)
         return 1
-    paths = ResultsStore(directory).runs()
+    paths = ServiceCore(results_dir=directory).store().runs()
     if not paths:
         print(f"[results] dir={directory} runs=0")
         return 0
@@ -423,27 +441,6 @@ def _resolve_baselines(args: argparse.Namespace):
     return _default_baselines_dir(), True
 
 
-def _scan_cache(path: Path, baseline: set) -> Dict[str, List[Path]]:
-    """Split cell files into catalog-claimed, baseline-pinned, orphaned.
-
-    A cell counts as ``claimed`` when a current catalog grid produces
-    its digest; failing that, as ``baseline`` when a committed baseline
-    record references it (the digest of an older code fingerprint that
-    a baseline still pins); anything else is an orphan.
-    """
-    claimed = claimed_digests()
-    split: Dict[str, List[Path]] = {"claimed": [], "baseline": [],
-                                    "orphaned": []}
-    for cell in sorted(path.glob("*.json")):
-        if cell.stem in claimed:
-            split["claimed"].append(cell)
-        elif cell.stem in baseline:
-            split["baseline"].append(cell)
-        else:
-            split["orphaned"].append(cell)
-    return split
-
-
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     path = _cache_dir(args)
     if path is None:
@@ -451,6 +448,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     baselines, ok = _resolve_baselines(args)
     if not ok:
         return 1
+    core = ServiceCore(baselines_dir=baselines)
     # Load each baseline record once: it feeds both the keep-set below
     # and the store-size report.
     baseline_runs = (ResultsStore(baselines).runs()
@@ -458,25 +456,31 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     baseline_records = [load_record(p) for p in baseline_runs]
     keep = set().union(*(r.cell_digests() for r in baseline_records)) \
         if baseline_records else set()
-    split = _scan_cache(path, keep)
+    split = core.scan_cache(path, keep)
+    record_entries = []
+    if baselines is not None:
+        cells = sum(r.n_cells() for r in baseline_records)
+        record_entries.append(record_store_entry(baselines, baseline_runs,
+                                                 cells=cells))
+    results_dir = _default_results_dir()
+    if results_dir is not None and results_dir.is_dir():
+        runs = ResultsStore(results_dir).runs()
+        if runs:
+            record_entries.append(record_store_entry(results_dir, runs))
+    if args.json:
+        print(json.dumps(cache_stats_payload(path, split, record_entries),
+                         indent=1, sort_keys=True))
+        return 0
     total = split["claimed"] + split["baseline"] + split["orphaned"]
     size = sum(cell.stat().st_size for cell in total)
     print(f"[cache] dir={path} cells={len(total)} bytes={size} "
           f"claimed={len(split['claimed'])} "
           f"baseline={len(split['baseline'])} "
           f"orphaned={len(split['orphaned'])}")
-    if baselines is not None:
-        run_bytes = sum(p.stat().st_size for p in baseline_runs)
-        cells = sum(r.n_cells() for r in baseline_records)
-        print(f"[records] dir={baselines} runs={len(baseline_runs)} "
-              f"cells={cells} bytes={run_bytes}")
-    results_dir = _default_results_dir()
-    if results_dir is not None and results_dir.is_dir():
-        runs = ResultsStore(results_dir).runs()
-        if runs:
-            run_bytes = sum(p.stat().st_size for p in runs)
-            print(f"[records] dir={results_dir} runs={len(runs)} "
-                  f"bytes={run_bytes}")
+    for entry in record_entries:
+        cells_part = (f"cells={entry['cells']} " if "cells" in entry else "")
+        print(f"[records] dir={entry['dir']} runs={entry['runs']} "
+              f"{cells_part}bytes={entry['bytes']}")
     return 0
 
 
@@ -498,16 +502,32 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
         keep = set()
     else:
         keep = baseline_digests(baselines)
-    split = _scan_cache(path, keep)
-    for cell in split["orphaned"]:
-        if not args.dry_run:
-            cell.unlink()
+    core = ServiceCore(baselines_dir=baselines)
+    split = core.prune_cache(path, keep, dry_run=args.dry_run)
     verb = "would delete" if args.dry_run else "deleted"
     kept = len(split["claimed"]) + len(split["baseline"])
     print(f"[prune] dir={path} kept={kept} {verb}={len(split['orphaned'])} "
           f"(catalog={len(split['claimed'])}, "
           f"baseline={len(split['baseline'])})")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the HTTP server over one service core; blocks until Ctrl-C."""
+    # Imported lazily: the asyncio server machinery is dead weight for
+    # every other subcommand.
+    from .server import serve as serve_forever
+    results_dir = (Path(args.results_dir) if args.results_dir
+                   else _default_results_dir())
+    baselines = (Path(args.baselines) if args.baselines
+                 else _default_baselines_dir())
+    core = ServiceCore(results_dir=results_dir, baselines_dir=baselines,
+                       cache=args.cache or None)
+    return serve_forever(core, host=args.host, port=args.port)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -524,6 +544,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_results_show(args)
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "cache":
             if args.cache_command == "stats":
                 return _cmd_cache_stats(args)

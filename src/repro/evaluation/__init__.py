@@ -6,6 +6,7 @@ from .engine import (
     ProcessExecutor,
     ResultCache,
     SerialExecutor,
+    SingleFlight,
     ThreadExecutor,
     TrialJob,
     build_jobs,
@@ -49,6 +50,7 @@ __all__ = [
     "ResultCache",
     "Scenario",
     "SerialExecutor",
+    "SingleFlight",
     "SweepResult",
     "ThreadExecutor",
     "TrialJob",

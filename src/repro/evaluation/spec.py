@@ -338,20 +338,22 @@ class ExperimentSpec:
     def run(self, *, executor: ExecutorLike = "serial",
             cache: CacheLike = None, n_trials: Optional[int] = None,
             max_workers: Optional[int] = None,
-            chunksize: int = 1, on_cell=None) -> SweepResult:
+            chunksize: int = 1, flight=None, on_cell=None) -> SweepResult:
         """Evaluate the spec's grid through the engine.
 
-        Axis names label the grid (and enter cell seeds); the executor
-        and cache knobs forward to :func:`~repro.evaluation.run_grid`
-        unchanged, so spec runs parallelise and cache like any scenario
-        grid.  ``n_trials`` overrides the spec's trial count.
-        ``on_cell`` is the engine's per-cell observation hook —
-        ``python -m repro run spec.toml --record`` uses it to assemble
-        the run's provenance record.
+        Axis names label the grid (and enter cell seeds); the executor,
+        cache, and ``flight`` (single-flight coalescing) knobs forward
+        to :func:`~repro.evaluation.run_grid` unchanged, so spec runs
+        parallelise, cache, and coalesce like any scenario grid.
+        ``n_trials`` overrides the spec's trial count.  ``on_cell`` is
+        the engine's per-cell observation hook — ``python -m repro run
+        spec.toml --record`` uses it to assemble the run's provenance
+        record.
         """
         return run_grid(
             self.to_scenario(), self.sweep.name, list(self.sweep.values),
             self.series.name, list(self.series.values),
             n_trials=self.n_trials if n_trials is None else n_trials,
             seed=self.seed, executor=executor, max_workers=max_workers,
-            chunksize=chunksize, cache=cache, on_cell=on_cell)
+            chunksize=chunksize, cache=cache, flight=flight,
+            on_cell=on_cell)

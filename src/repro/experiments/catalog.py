@@ -75,13 +75,16 @@ class PanelDef:
     n_trials: int
 
     def run(self, *, executor="serial", cache=None, n_trials=None,
-            max_workers=None, chunksize: int = 1,
-            recorder=None) -> Dict[object, List[float]]:
+            max_workers=None, chunksize: int = 1, recorder=None,
+            flight=None) -> Dict[object, List[float]]:
         """Evaluate the panel's grid; returns ``series -> mean curve``.
 
         ``n_trials`` overrides the panel's trial count (changing the
         statistics *and* the cache digests); executor/cache knobs are
-        forwarded to :func:`repro.evaluation.run_grid` unchanged.
+        forwarded to :func:`repro.evaluation.run_grid` unchanged, as is
+        ``flight`` (a :class:`repro.evaluation.SingleFlight` coalescing
+        concurrent computations of the same cells — the serving tier's
+        single-flight guarantee).
 
         ``recorder`` (a :class:`repro.results.RunRecorder`) captures
         the panel's full provenance — grid axes, seed, trial count,
@@ -100,7 +103,7 @@ class PanelDef:
                           "series", list(self.series_values),
                           n_trials=trials, seed=self.seed, executor=executor,
                           max_workers=max_workers, chunksize=chunksize,
-                          cache=cache, on_cell=on_cell)
+                          cache=cache, flight=flight, on_cell=on_cell)
         if recorder is not None:
             recorder.add_panel(
                 title=self.title, x_name=self.x_name, sweep_name="x",

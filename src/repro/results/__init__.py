@@ -29,7 +29,13 @@ from .record import (
     compute_config_digest,
     compute_run_id,
 )
-from .store import ResultsStore, baseline_digests, load_record, save_record
+from .store import (
+    ResultsStore,
+    baseline_digests,
+    load_record,
+    manifest_text,
+    save_record,
+)
 
 __all__ = [
     "PANEL_PROVENANCE_KEYS",
@@ -50,5 +56,6 @@ __all__ = [
     "compute_run_id",
     "diff_records",
     "load_record",
+    "manifest_text",
     "save_record",
 ]

@@ -49,8 +49,9 @@ SCHEMA_VERSION = 1
 #: Payload keys that never enter ``run_id``: ``run_id`` itself plus the
 #: environment metadata that cannot influence results (executors are
 #: bit-identical; the package version only matters when values actually
-#: change, which the stats digest already captures).
-_RUN_ID_EXCLUDED = ("run_id", "executor", "package_version")
+#: change, which the stats digest already captures; per-cell wall-times
+#: describe the machine that ran the cells, not the experiment).
+_RUN_ID_EXCLUDED = ("run_id", "executor", "package_version", "timings")
 
 #: The two provenance kinds a record can describe.
 _KINDS = ("bench", "spec")
@@ -159,14 +160,16 @@ def compute_config_digest(payload: Mapping) -> str:
 def cell_capture():
     """A fresh ``(cells, on_cell)`` pair for the engine's observation hook.
 
-    ``on_cell`` appends each ``(TrialJob, trial values)`` pair to
-    ``cells`` as :func:`repro.evaluation.run_grid` walks the grid in
-    job order; hand ``cells`` to :meth:`RunRecorder.add_panel`.  Every
-    recording call site uses this one helper so bench and spec records
-    capture identically.
+    ``on_cell`` appends each ``(TrialJob, trial values, elapsed)``
+    triple to ``cells`` as :func:`repro.evaluation.run_grid` walks the
+    grid in job order (``elapsed`` is ``None`` for cells the engine did
+    not compute — cache hits and coalesced flights); hand ``cells`` to
+    :meth:`RunRecorder.add_panel`.  Every recording call site uses this
+    one helper so bench and spec records capture identically.
     """
     cells: List[tuple] = []
-    return cells, lambda job, values: cells.append((job, values))
+    return cells, (lambda job, values, elapsed=None:
+                   cells.append((job, values, elapsed)))
 
 
 # ---------------------------------------------------------------------------
@@ -358,11 +361,16 @@ class RunRecord:
     config_digest: str
     run_id: str
     panels: Tuple[PanelRecord, ...]
+    #: Per-panel, per-cell compute wall-times in seconds (``None`` for
+    #: cells served from cache).  Environment metadata like ``executor``:
+    #: excluded from ``run_id``/``config_digest``, advisory only, and
+    #: never shape-validated — a record without timings is complete.
+    timings: Optional[Tuple[Tuple[Optional[float], ...], ...]] = None
 
     @classmethod
     def build(cls, *, kind: str, name: str, result_stem: str,
-              executor: str, full: bool,
-              panels: Iterable[PanelRecord]) -> "RunRecord":
+              executor: str, full: bool, panels: Iterable[PanelRecord],
+              timings: Optional[Iterable] = None) -> "RunRecord":
         """Assemble a record, computing ``config_digest`` and ``run_id``."""
         from .. import __version__
         from ..evaluation.engine import ENGINE_VERSION
@@ -372,11 +380,14 @@ class RunRecord:
         panels = tuple(panels)
         if not panels:
             raise ResultsError("a run record needs at least one panel")
+        if timings is not None:
+            timings = tuple(tuple(None if t is None else float(t)
+                                  for t in panel) for panel in timings)
         record = cls(schema_version=SCHEMA_VERSION, kind=kind, name=name,
                      result_stem=result_stem, package_version=__version__,
                      engine_version=ENGINE_VERSION, executor=executor,
                      full=bool(full), config_digest="", run_id="",
-                     panels=panels)
+                     panels=panels, timings=timings)
         object.__setattr__(record, "config_digest",
                            compute_config_digest(record.to_dict()))
         object.__setattr__(record, "run_id",
@@ -384,14 +395,21 @@ class RunRecord:
         return record
 
     def to_dict(self) -> Dict[str, object]:
-        """The record's full JSON payload (the on-disk manifest)."""
-        return {"schema_version": self.schema_version, "kind": self.kind,
-                "name": self.name, "result_stem": self.result_stem,
-                "package_version": self.package_version,
-                "engine_version": self.engine_version,
-                "executor": self.executor, "full": self.full,
-                "config_digest": self.config_digest, "run_id": self.run_id,
-                "panels": [panel.to_dict() for panel in self.panels]}
+        """The record's full JSON payload (the on-disk manifest).
+
+        The ``timings`` key is emitted only when present, so records
+        written before cell timing existed round-trip byte-for-byte.
+        """
+        payload = {"schema_version": self.schema_version, "kind": self.kind,
+                   "name": self.name, "result_stem": self.result_stem,
+                   "package_version": self.package_version,
+                   "engine_version": self.engine_version,
+                   "executor": self.executor, "full": self.full,
+                   "config_digest": self.config_digest, "run_id": self.run_id,
+                   "panels": [panel.to_dict() for panel in self.panels]}
+        if self.timings is not None:
+            payload["timings"] = [list(panel) for panel in self.timings]
+        return payload
 
     def cell_digests(self) -> set:
         """Every cell cache digest the record references."""
@@ -440,6 +458,28 @@ class RunRecord:
         raw_panels = _get(payload, "panels", list, "run record")
         panels = tuple(PanelRecord.from_dict(panel, f"panel[{i}]")
                        for i, panel in enumerate(raw_panels))
+        timings = None
+        if "timings" in payload:
+            # Advisory environment metadata: types are checked so the
+            # manifest stays machine-readable, but the shape is *not*
+            # matched against the grid — timings never gate a load the
+            # way the integrity digests do.
+            raw_timings = _get(payload, "timings", list, "run record")
+            rows = []
+            for i, row in enumerate(raw_timings):
+                if not isinstance(row, list):
+                    raise ResultsError(
+                        f"run record timings[{i}] must be a list, got "
+                        f"{type(row).__name__}")
+                for t in row:
+                    if t is not None and (isinstance(t, bool)
+                                          or not isinstance(t, (int, float))):
+                        raise ResultsError(
+                            f"run record timings[{i}] entries must be "
+                            f"seconds or null, got {t!r}")
+                rows.append(tuple(None if t is None else float(t)
+                                  for t in row))
+            timings = tuple(rows)
         record = cls(
             schema_version=version, kind=kind,
             name=_get(payload, "name", str, "run record"),
@@ -451,7 +491,7 @@ class RunRecord:
             full=_get(payload, "full", bool, "run record"),
             config_digest=_get(payload, "config_digest", str, "run record"),
             run_id=_get(payload, "run_id", str, "run record"),
-            panels=panels)
+            panels=panels, timings=timings)
         if not panels:
             raise ResultsError("run record carries no panels")
         expected_config = compute_config_digest(record.to_dict())
@@ -500,6 +540,7 @@ class RunRecorder:
         self.executor = executor
         self.full = bool(full)
         self._panels: List[PanelRecord] = []
+        self._timings: List[Tuple[Optional[float], ...]] = []
 
     def add_panel(self, *, title: str, x_name: str, sweep_name: str,
                   series_name: str, sweep_values, series_values, seed,
@@ -507,27 +548,39 @@ class RunRecorder:
         """Append one executed panel.
 
         ``cells`` is the engine's ``on_cell`` capture: an iterable of
-        ``(TrialJob, trial values)`` pairs in job order.
+        ``(TrialJob, trial values, elapsed)`` triples in job order
+        (bare ``(TrialJob, trial values)`` pairs are accepted too, with
+        unknown elapsed times).
         """
         where = f"panel {title!r}"
-        cell_records = tuple(
-            CellRecord(
+        cell_records = []
+        elapsed_row = []
+        for job, values, *rest in cells:
+            cell_records.append(CellRecord(
                 series_value=_jsonify(job.series_value, where),
                 sweep_value=_jsonify(job.sweep_value, where),
                 digest=job.digest,
-                stats=TrialStats.from_values(values))
-            for job, values in cells)
+                stats=TrialStats.from_values(values)))
+            elapsed_row.append(rest[0] if rest else None)
         self._panels.append(PanelRecord(
             title=title, x_name=x_name, sweep_name=sweep_name,
             series_name=series_name,
             sweep_values=tuple(_jsonify(list(sweep_values), where)),
             series_values=tuple(_jsonify(list(series_values), where)),
             seed=_jsonify(seed, where), n_trials=int(n_trials),
-            point_fingerprint=point_fingerprint, cells=cell_records))
+            point_fingerprint=point_fingerprint, cells=tuple(cell_records)))
+        self._timings.append(tuple(elapsed_row))
 
     def finalize(self) -> RunRecord:
-        """Seal the collected panels into an immutable :class:`RunRecord`."""
+        """Seal the collected panels into an immutable :class:`RunRecord`.
+
+        Timings are stamped only when at least one cell was actually
+        computed during this run — a fully cache-served replay yields a
+        record byte-identical to one recorded before timing existed.
+        """
+        timed = any(t is not None for row in self._timings for t in row)
         return RunRecord.build(kind=self.kind, name=self.name,
                                result_stem=self.result_stem,
                                executor=self.executor, full=self.full,
-                               panels=self._panels)
+                               panels=self._panels,
+                               timings=self._timings if timed else None)

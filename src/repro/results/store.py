@@ -26,6 +26,23 @@ from ..exceptions import ResultsError
 from .record import RunRecord
 
 
+def manifest_text(record: RunRecord) -> str:
+    """The exact on-disk manifest text of ``record``.
+
+    Pretty-printed with sorted keys and a trailing newline — the one
+    serialisation shared by :func:`save_record` and the HTTP server's
+    ``GET /records/<name>`` body, so a served record is byte-identical
+    to its committed file.
+    """
+    try:
+        return json.dumps(record.to_dict(), indent=1, sort_keys=True,
+                          allow_nan=False) + "\n"
+    except ValueError as exc:
+        raise ResultsError(
+            f"run record {record.name!r} contains non-finite floats "
+            f"(NaN/Infinity), which strict JSON cannot carry: {exc}") from exc
+
+
 def save_record(record: RunRecord, path: Union[str, Path]) -> Path:
     """Atomically write one record manifest to an exact path.
 
@@ -34,13 +51,7 @@ def save_record(record: RunRecord, path: Union[str, Path]) -> Path:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    try:
-        text = json.dumps(record.to_dict(), indent=1, sort_keys=True,
-                          allow_nan=False) + "\n"
-    except ValueError as exc:
-        raise ResultsError(
-            f"run record {record.name!r} contains non-finite floats "
-            f"(NaN/Infinity), which strict JSON cannot carry: {exc}") from exc
+    text = manifest_text(record)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as fh:

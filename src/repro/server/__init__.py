@@ -1,0 +1,25 @@
+"""``python -m repro serve`` — the HTTP face of the service core.
+
+A stdlib-only asyncio HTTP/1.1 server (no third-party dependencies)
+exposing one :class:`~repro.service.ServiceCore` to concurrent clients:
+
+========================  ==================================================
+``GET /catalog``          every catalog bench + record status (JSON)
+``GET /records/<name>``   a run-record manifest, byte-identical to its
+                          committed file; ETag = ``run_id``, 304-aware
+``GET /cells/<digest>``   one cached cell's raw trial values; ETag =
+                          digest, 304-aware
+``GET /stats``            live cache hit/miss + single-flight counters
+``POST /run``             run a catalog bench through the core's engine;
+                          concurrent cold requests coalesce single-flight
+========================  ==================================================
+
+Cache hits are served concurrently at memory speed; cold cells are
+computed once per digest no matter how many clients ask (the core's
+:class:`~repro.evaluation.SingleFlight` map), with later requesters
+awaiting the same in-flight future.
+"""
+
+from .http import ReproServer, serve
+
+__all__ = ["ReproServer", "serve"]

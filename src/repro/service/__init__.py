@@ -1,0 +1,41 @@
+"""The service core: one compute/query tier behind every entry point.
+
+:class:`ServiceCore` owns the four pieces every client used to wire by
+hand — catalog lookup, the run-record store, the cell
+:class:`~repro.evaluation.ResultCache`, and the engine (with a shared
+:class:`~repro.evaluation.SingleFlight` coalescing map) — and exposes
+them as methods.  ``python -m repro`` (:mod:`repro.cli`), the pytest
+benches (``benchmarks/_common``), and the HTTP server
+(:mod:`repro.server`) are all thin clients of this one tier, which is
+what makes their outputs bit-identical by construction: a bench run, a
+CLI run, and a served ``POST /run`` of the same catalog entry produce
+run records with equal ``run_id``.
+
+:mod:`repro.service.serializers` holds the JSON payload builders shared
+by the server's responses and the CLI's ``--json`` flags, so scripts
+parse one schema no matter which surface produced it.
+"""
+
+from .core import BenchRun, ServiceCore, SpecRun
+from .serializers import (
+    cache_stats_payload,
+    catalog_payload,
+    list_payload,
+    record_store_entry,
+    record_summary,
+    run_payload,
+    stats_payload,
+)
+
+__all__ = [
+    "BenchRun",
+    "ServiceCore",
+    "SpecRun",
+    "cache_stats_payload",
+    "catalog_payload",
+    "list_payload",
+    "record_store_entry",
+    "record_summary",
+    "run_payload",
+    "stats_payload",
+]

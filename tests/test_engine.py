@@ -309,7 +309,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         run_grid(_linear_point, "n", [1], "d", [1], n_trials=3, seed=0,
                  cache=cache)
-        for path in tmp_path.glob("*.json"):
+        for path in tmp_path.glob("**/*.json"):
             path.write_text(json_mod.dumps([None, 1.0, "x"]))
         fresh = ResultCache(tmp_path)
         result = run_grid(_linear_point, "n", [1], "d", [1], n_trials=3,
@@ -321,7 +321,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         run_grid(_linear_point, "n", [1], "d", [1], n_trials=2, seed=0,
                  cache=cache)
-        for path in tmp_path.glob("*.json"):
+        for path in tmp_path.glob("**/*.json"):
             path.write_text("not json")
         fresh = ResultCache(tmp_path)
         result = run_grid(_linear_point, "n", [1], "d", [1], n_trials=2,
@@ -345,7 +345,7 @@ class TestResultCache:
             run_grid(exploding_point, "n", [1, 2, 3], "d", [0],
                      n_trials=1, seed=0, cache=cache, code_tag="panel")
         # The two cells finished before the failure were persisted...
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert len(list(tmp_path.glob("**/*.json"))) == 2
         # ...so a rerun with a fixed point recomputes only the third.
         counting = _CountingExecutor()
         fixed = run_grid(_linear_point, "n", [1, 2, 3], "d", [0],
@@ -357,7 +357,7 @@ class TestResultCache:
     def test_cache_dir_path_accepted(self, tmp_path):
         run_grid(_linear_point, "n", [1], "d", [1], n_trials=2, seed=0,
                  cache=str(tmp_path / "cells"))
-        assert list((tmp_path / "cells").glob("*.json"))
+        assert list((tmp_path / "cells").glob("**/*.json"))
 
 
 class TestSweepWrapper:

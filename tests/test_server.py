@@ -1,0 +1,140 @@
+"""The HTTP serving tier over real sockets: routes, ETags, coalescing.
+
+Each test boots a :class:`~repro.server.ReproServer` on an ephemeral
+port (daemon-thread event loop) against the committed record stores and
+drives it with blocking ``urllib`` clients — the same transport the CI
+smoke job uses.  The acceptance-critical cases: a served record is
+byte-identical to its committed file, conditional requests round-trip
+to 304, and concurrent cold ``POST /run`` s coalesce onto one engine
+computation per cell digest while returning the committed baseline's
+``run_id``.
+"""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.server.smoke import _request, _start_server
+from repro.service import ServiceCore
+
+REPO_ROOT = Path(__file__).parent.parent
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+#: One panel, five cells at laptop scale — cheap enough to compute live.
+CHEAP_BENCH = "ablation_truncation_threshold"
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live server over the committed stores and a cold tmp cache."""
+    core = ServiceCore(results_dir=RESULTS, baselines_dir=BASELINES,
+                       cache=tmp_path / "cache")
+    server = _start_server(core)
+    return core, f"http://{server.host}:{server.port}"
+
+
+class TestQueryEndpoints:
+    def test_catalog_lists_every_bench_with_records(self, served):
+        _, base = served
+        status, _, body = _request(f"{base}/catalog")
+        assert status == 200
+        payload = json.loads(body)
+        names = [entry["name"] for entry in payload["benches"]]
+        assert CHEAP_BENCH in names and "fig05_lasso_lognormal" in names
+        assert all(entry["has_record"] for entry in payload["benches"])
+
+    def test_served_record_is_byte_identical_to_committed_file(self, served):
+        _, base = served
+        status, headers, body = _request(f"{base}/records/fig05")
+        assert status == 200
+        assert body == (RESULTS / "fig05.json").read_bytes()
+        run_id = json.loads(body)["run_id"]
+        assert headers["etag"] == f'"{run_id}"'
+
+    def test_record_resolves_catalog_name_to_stem(self, served):
+        _, base = served
+        by_stem = _request(f"{base}/records/fig05")
+        by_name = _request(f"{base}/records/fig05_lasso_lognormal")
+        assert by_stem[0] == by_name[0] == 200
+        assert by_stem[2] == by_name[2]
+
+    def test_etag_round_trip_returns_304_with_empty_body(self, served):
+        _, base = served
+        _, headers, _ = _request(f"{base}/records/fig05")
+        status, _, body = _request(
+            f"{base}/records/fig05",
+            headers={"If-None-Match": headers["etag"]})
+        assert status == 304 and body == b""
+        # A stale validator still gets the full representation.
+        status, _, body = _request(
+            f"{base}/records/fig05", headers={"If-None-Match": '"stale"'})
+        assert status == 200 and body
+
+    def test_unknown_resources_404_and_bad_bodies_400(self, served):
+        _, base = served
+        assert _request(f"{base}/records/no-such")[0] == 404
+        assert _request(f"{base}/cells/{'0' * 32}")[0] == 404
+        assert _request(f"{base}/cells/../secrets")[0] == 404
+        assert _request(f"{base}/nope")[0] == 404
+        assert _request(f"{base}/catalog", method="DELETE")[0] == 405
+        assert _request(f"{base}/run", method="POST",
+                        body=b"{broken")[0] == 400
+        assert _request(f"{base}/run", method="POST",
+                        body=json.dumps({"n_trials": 3}).encode())[0] == 400
+        assert _request(f"{base}/run", method="POST",
+                        body=json.dumps({"name": "zzz"}).encode())[0] == 404
+
+
+class TestComputeEndpoint:
+    def test_posted_run_matches_committed_baseline_run_id(self, served):
+        _, base = served
+        body = json.dumps({"name": CHEAP_BENCH}).encode()
+        status, headers, response = _request(f"{base}/run", method="POST",
+                                             body=body)
+        assert status == 200
+        payload = json.loads(response)
+        committed = json.loads(
+            (BASELINES / f"{CHEAP_BENCH}.json").read_text())
+        assert payload["run_id"] == committed["run_id"]
+        assert headers["etag"] == f'"{committed["run_id"]}"'
+
+    def test_concurrent_cold_runs_coalesce_single_flight(self, served):
+        """Eight clients, one cold bench: flights led == cell count."""
+        core, base = served
+        committed = json.loads(
+            (BASELINES / f"{CHEAP_BENCH}.json").read_text())
+        n_cells = sum(len(panel["cells"]) for panel in committed["panels"])
+        body = json.dumps({"name": CHEAP_BENCH}).encode()
+
+        def post(_):
+            return _request(f"{base}/run", method="POST", body=body)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(post, range(8)))
+        run_ids = {json.loads(resp)["run_id"] for status, _, resp in responses}
+        assert all(status == 200 for status, _, _ in responses)
+        assert run_ids == {committed["run_id"]}
+        status, _, stats_body = _request(f"{base}/stats")
+        assert status == 200
+        stats = json.loads(stats_body)
+        assert stats["flight"]["led"] == n_cells
+        assert stats["flight"]["led"] == core.flight.led
+
+    def test_cells_are_served_after_a_run_populates_the_cache(self, served):
+        _, base = served
+        body = json.dumps({"name": CHEAP_BENCH}).encode()
+        assert _request(f"{base}/run", method="POST", body=body)[0] == 200
+        committed = json.loads(
+            (BASELINES / f"{CHEAP_BENCH}.json").read_text())
+        digest = committed["panels"][0]["cells"][0]["digest"]
+        status, headers, cell_body = _request(f"{base}/cells/{digest}")
+        assert status == 200
+        payload = json.loads(cell_body)
+        assert payload["digest"] == digest and payload["values"]
+        status, _, cell_body = _request(
+            f"{base}/cells/{digest}",
+            headers={"If-None-Match": headers["etag"]})
+        assert status == 304 and cell_body == b""
