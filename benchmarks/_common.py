@@ -36,14 +36,15 @@ FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 N_TRIALS = 10 if FULL else 3
 
 #: Executor names the engine accepts (mirrors ``repro.cli``).
-_VALID_EXECUTORS = ("serial", "thread", "process")
+_VALID_EXECUTORS = ("serial", "thread", "process", "fleet")
 
-#: Executor for the sweep grids: "serial" (default), "thread", or
-#: "process".  Every figure/ablation point is a picklable scenario
-#: dataclass (see ``repro.experiments.panels``), so both parallel
-#: executors fan the grid cells out for real.  All three are
-#: bit-identical.  An unknown value fails here, at import — not as a
-#: confusing engine error after the first expensive data generation.
+#: Executor for the sweep grids: "serial" (default), "thread",
+#: "process", or "fleet" (the work-queue executor of ``repro.fleet``).
+#: Every figure/ablation point is a picklable scenario dataclass (see
+#: ``repro.experiments.panels``), so the parallel executors fan the
+#: grid cells out for real.  All four are bit-identical.  An unknown
+#: value fails here, at import — not as a confusing engine error after
+#: the first expensive data generation.
 EXECUTOR = os.environ.get("REPRO_BENCH_EXECUTOR", "serial")
 if EXECUTOR not in _VALID_EXECUTORS:
     raise ValueError(

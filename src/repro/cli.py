@@ -81,8 +81,9 @@ from .service import (
     record_store_entry,
 )
 
-#: Executor names the CLI accepts (the engine's built-in trio).
-_EXECUTORS = ("serial", "thread", "process")
+#: Executor names the CLI accepts: the engine's built-in pools plus
+#: the fault-tolerant work-queue executor (:mod:`repro.fleet`).
+_EXECUTORS = ("serial", "thread", "process", "fleet")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -109,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true",
                      help="paper-scale grids (hours) instead of laptop scale")
     run.add_argument("--max-workers", type=int, default=None, metavar="N",
-                     help="pool size for thread/process executors")
+                     help="pool size for thread/process/fleet executors")
     run.add_argument("--results-dir", default=None, metavar="DIR",
                      help="where to write the bench results table and run "
                           "record (default: benchmarks/results when it "
@@ -206,6 +207,15 @@ def _print_cache_stats(cache: Optional[ResultCache]) -> None:
               f"dir={cache.directory}")
 
 
+def _print_fleet_stats(core: ServiceCore) -> None:
+    """One machine-greppable line: what the work-queue fleet did this run."""
+    stats = core.fleet_stats
+    if stats.active():
+        print(f"[fleet] leased={stats.leased} completed={stats.completed} "
+              f"retried={stats.retried} dead={stats.dead} "
+              f"duplicates={stats.duplicates} expired={stats.expired}")
+
+
 def _default_results_dir() -> Optional[Path]:
     """``benchmarks/results`` when run from the repo root, else nothing."""
     candidate = Path("benchmarks")
@@ -270,6 +280,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         # baseline), but nothing lands in the shared results dir.
         _save_record(run.record, results_dir=None, explicit=args.record)
     _print_cache_stats(core.cache)
+    _print_fleet_stats(core)
     return 0
 
 
@@ -283,6 +294,7 @@ def _run_spec(args: argparse.Namespace, path: Path) -> int:
     if args.record:
         _save_record(run.record, results_dir=None, explicit=args.record)
     _print_cache_stats(core.cache)
+    _print_fleet_stats(core)
     return 0
 
 
@@ -468,7 +480,8 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         if runs:
             record_entries.append(record_store_entry(results_dir, runs))
     if args.json:
-        print(json.dumps(cache_stats_payload(path, split, record_entries),
+        print(json.dumps(cache_stats_payload(path, split, record_entries,
+                                             fleet=core.fleet_stats),
                          indent=1, sort_keys=True))
         return 0
     total = split["claimed"] + split["baseline"] + split["orphaned"]

@@ -1,0 +1,36 @@
+"""Fault-tolerant work-queue executor (``--executor fleet``).
+
+A coordinator enqueues digest-addressed :class:`~repro.evaluation.TrialJob`
+cells onto a broker; N workers lease, heartbeat, compute, and complete
+them.  Lost workers, lost completions, and duplicated deliveries are
+absorbed by protocol — lease expiry, capped-exponential requeue,
+bounded retries, dead letters, idempotent completion — and the whole
+machine runs on a virtual clock with a seeded fault schedule, so every
+failure mode is exercised deterministically in tier-1 tests.  See
+``docs/engine.md`` ("Fleet executor") for the protocol and state
+diagram.
+"""
+
+from .backoff import BackoffPolicy
+from .broker import DEAD, DONE, LEASED, QUEUED, DeadLetter, InProcessBroker, Lease
+from .clock import ManualClock, MonotonicClock
+from .executor import FleetError, FleetExecutor, FleetOptions, FleetStats
+from .faults import FaultSchedule
+
+__all__ = [
+    "BackoffPolicy",
+    "DEAD",
+    "DONE",
+    "DeadLetter",
+    "FaultSchedule",
+    "FleetError",
+    "FleetExecutor",
+    "FleetOptions",
+    "FleetStats",
+    "InProcessBroker",
+    "LEASED",
+    "Lease",
+    "ManualClock",
+    "MonotonicClock",
+    "QUEUED",
+]

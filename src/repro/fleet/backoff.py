@@ -1,0 +1,86 @@
+"""Capped exponential retry backoff with seeded, deterministic jitter.
+
+A requeued job must not thunder straight back onto the broker: each
+retry waits ``base * factor**attempt``, jittered upward by at most
+``jitter`` (a fraction), and clamped to ``cap``.  The jitter is *not*
+drawn from a global RNG — it is a :func:`hashlib.blake2b` digest of
+``(seed, key, attempt)``, so a given job's schedule is a pure function
+of the policy and the job's digest.  Two properties follow, and the
+unit tests pin both:
+
+* **Determinism.** Equal policies produce equal delays for equal
+  ``(key, attempt)`` — across processes, under any ``PYTHONHASHSEED``.
+* **Monotonicity up to the cap.** As long as ``factor >= 1 + jitter``
+  (enforced at construction), jitter can never make attempt ``k+1``
+  wait less than attempt ``k``; once the cap is reached the delay
+  stays exactly ``cap``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """The retry-delay schedule for one fleet: exponential, jittered, capped.
+
+    Parameters
+    ----------
+    base:
+        Delay before the first retry (attempt 0), in clock seconds.
+    factor:
+        Growth per attempt.  Must be at least ``1 + jitter`` so the
+        schedule stays monotone despite per-attempt jitter.
+    cap:
+        Upper bound applied *after* jitter: the schedule saturates at
+        exactly ``cap`` and stays there.
+    jitter:
+        Maximum upward fuzz, as a fraction of the un-jittered delay
+        (``0.1`` = up to +10%).  Derived from ``seed``/``key``/attempt,
+        never from a global RNG.
+    seed:
+        Fleet-level jitter seed; folded into every delay digest.
+    """
+
+    base: float = 0.5
+    factor: float = 2.0
+    cap: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        """Reject schedules that could stall, rewind, or be non-monotone."""
+        if self.base <= 0:
+            raise ValueError(f"base must be > 0, got {self.base}")
+        if self.cap < self.base:
+            raise ValueError(f"cap {self.cap} must be >= base {self.base}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.factor < 1.0 + self.jitter:
+            raise ValueError(
+                f"factor {self.factor} must be >= 1 + jitter "
+                f"({1.0 + self.jitter}) or the schedule is not monotone")
+
+    def _unit(self, key: str, attempt: int) -> float:
+        """A deterministic uniform in ``[0, 1)`` for one (key, attempt)."""
+        payload = f"{self.seed}\x1f{key}\x1f{attempt}".encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "little") / 2.0 ** 64
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to hold ``key`` off the queue before retry ``attempt``.
+
+        ``attempt`` counts completed failures: the first retry asks for
+        attempt 0.  Negative attempts are a caller bug and raise.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = self.base * self.factor ** attempt
+        fuzzed = raw * (1.0 + self.jitter * self._unit(key, attempt))
+        return min(fuzzed, self.cap)
+
+    def schedule(self, key: str, attempts: int) -> list:
+        """The first ``attempts`` delays for ``key``, in order."""
+        return [self.delay(key, attempt) for attempt in range(attempts)]

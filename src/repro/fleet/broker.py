@@ -1,0 +1,302 @@
+"""The work-queue broker: leases, heartbeats, requeues, dead letters.
+
+The broker is the fleet's only shared state.  A coordinator
+:meth:`~InProcessBroker.enqueue`\\ s digest-keyed jobs; workers
+:meth:`~InProcessBroker.lease` them, :meth:`~InProcessBroker.heartbeat`
+while computing, and :meth:`~InProcessBroker.complete` when done.  Time
+never flows inside the broker — every method takes an explicit ``now``,
+so the same state machine runs against wall clocks in production and a
+:class:`~repro.fleet.clock.ManualClock` in the deterministic harness.
+
+Task lifecycle::
+
+    QUEUED --lease--> LEASED --complete--> DONE
+      ^                  |
+      |   lease expired  |  attempts < max_attempts:
+      +------------------+  requeue after backoff.delay(key, attempt)
+                         |
+                         |  attempts >= max_attempts
+                         v
+                        DEAD  (a DeadLetter record, surfaced upstream)
+
+Fault tolerance is structural, not aspirational:
+
+* a lease that misses its heartbeats expires and the job is requeued
+  with capped exponential backoff (:class:`~repro.fleet.backoff.BackoffPolicy`);
+* retries are bounded — exhaustion produces a :class:`DeadLetter`
+  instead of an infinite loop;
+* completion is idempotent — a second completion of a DONE task (late
+  arrival after a lease expiry, or a duplicated delivery) is counted
+  and ignored, which is safe *because* tasks are digest-addressed:
+  any two completions of one key carry bit-identical values.
+
+Anything satisfying this method contract (enqueue/lease/heartbeat/
+complete/fail/expire plus ``outstanding``/``dead_letters``/``counters``)
+can replace :class:`InProcessBroker` — a redis- or ray-backed broker
+slots in behind the same :class:`~repro.fleet.executor.FleetExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .backoff import BackoffPolicy
+
+#: Task states.
+QUEUED = "queued"
+LEASED = "leased"
+DONE = "done"
+DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One delivery of one task to one worker.
+
+    ``attempt`` is the 0-based retry index of the task at delivery
+    time; a duplicated delivery shares its original's attempt number
+    (it is the *same* attempt arriving twice, not a retry).
+    """
+
+    lease_id: int
+    key: str
+    attempt: int
+    deadline: float
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A task that exhausted its retries, kept for the run record."""
+
+    key: str
+    attempts: int
+    reason: str
+    payload: object = None
+
+
+@dataclass
+class _Task:
+    """Broker-internal per-task state."""
+
+    key: str
+    payload: object
+    state: str = QUEUED
+    attempts: int = 0
+    not_before: float = 0.0
+    #: Active leases: lease_id -> deadline.
+    leases: Dict[int, float] = field(default_factory=dict)
+
+
+class InProcessBroker:
+    """A single-process, dict-backed broker for the simulated fleet.
+
+    Not thread-safe by design: the deterministic harness drives it from
+    one coordinator loop.  (A shared-memory multi-threaded deployment
+    would wrap calls in a lock; a networked one would replace the class
+    entirely — the protocol, not the implementation, is the contract.)
+    """
+
+    def __init__(self, *, lease_timeout: float = 5.0, max_attempts: int = 3,
+                 backoff: Optional[BackoffPolicy] = None):
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self._tasks: Dict[str, _Task] = {}
+        self._order: List[str] = []
+        self._lease_owner: Dict[int, str] = {}
+        self._next_lease = 0
+        self.dead_letters: List[DeadLetter] = []
+        self.counters: Dict[str, int] = {
+            "enqueued": 0, "leased": 0, "duplicated": 0, "heartbeats": 0,
+            "completed": 0, "duplicates": 0, "late": 0, "expired": 0,
+            "retried": 0, "dead": 0,
+        }
+
+    # -- producing -----------------------------------------------------------
+
+    def enqueue(self, key: str, payload: object = None) -> bool:
+        """Add a task; a key already known is idempotently ignored."""
+        if key in self._tasks:
+            return False
+        self._tasks[key] = _Task(key=key, payload=payload)
+        self._order.append(key)
+        self.counters["enqueued"] += 1
+        return True
+
+    # -- worker side ---------------------------------------------------------
+
+    def lease(self, now: float) -> Optional[Lease]:
+        """Deliver the oldest eligible queued task, or ``None``.
+
+        Eligible means QUEUED with its backoff hold (``not_before``)
+        elapsed.  Leasing increments the task's attempt count and arms
+        a deadline ``now + lease_timeout``; the worker must heartbeat
+        before the deadline or the lease expires.
+        """
+        for key in self._order:
+            task = self._tasks[key]
+            if task.state == QUEUED and task.not_before <= now:
+                task.state = LEASED
+                task.attempts += 1
+                return self._deliver(task, now, task.attempts - 1, "leased")
+        return None
+
+    def duplicate_lease(self, key: str, now: float) -> Optional[Lease]:
+        """Fault-injection hook: deliver a LEASED task a second time.
+
+        Models an at-least-once broker re-delivering a message that was
+        not lost.  The twin lease shares the original's attempt number
+        — it is not a retry — so two workers race to complete the same
+        attempt and the loser's completion must be absorbed as a
+        duplicate.
+        """
+        task = self._tasks.get(key)
+        if task is None or task.state != LEASED:
+            return None
+        return self._deliver(task, now, task.attempts - 1, "duplicated")
+
+    def _deliver(self, task: _Task, now: float, attempt: int,
+                 counter: str) -> Lease:
+        """Create and register one lease on ``task``."""
+        lease_id = self._next_lease
+        self._next_lease += 1
+        deadline = now + self.lease_timeout
+        task.leases[lease_id] = deadline
+        self._lease_owner[lease_id] = task.key
+        self.counters[counter] += 1
+        return Lease(lease_id=lease_id, key=task.key, attempt=attempt,
+                     deadline=deadline, payload=task.payload)
+
+    def heartbeat(self, lease_id: int, now: float) -> bool:
+        """Extend a live lease to ``now + lease_timeout``.
+
+        Returns ``False`` for a lease that already expired (or never
+        existed) — the worker should abandon the attempt, because the
+        broker has requeued or dead-lettered the task.
+        """
+        key = self._lease_owner.get(lease_id)
+        if key is None:
+            return False
+        task = self._tasks[key]
+        if lease_id not in task.leases:
+            return False
+        task.leases[lease_id] = now + self.lease_timeout
+        self.counters["heartbeats"] += 1
+        return True
+
+    def complete(self, lease_id: int, now: float) -> str:
+        """Report a finished attempt; idempotent by construction.
+
+        Returns one of:
+
+        * ``"completed"`` — first completion, lease was still live;
+        * ``"late"`` — first completion, but the lease had already
+          expired (the task was in flight again).  Accepted anyway:
+          digest-addressed values are deterministic, so the late result
+          equals whatever a retry would have produced;
+        * ``"duplicate"`` — the task was already DONE (a twin delivery
+          or an even later straggler).  Counted and ignored.
+        """
+        key = self._lease_owner.get(lease_id)
+        if key is None:
+            raise KeyError(f"unknown lease id {lease_id}")
+        task = self._tasks[key]
+        if task.state == DONE:
+            self.counters["duplicates"] += 1
+            return "duplicate"
+        if task.state == DEAD:
+            # Exhausted while this straggler computed; the dead letter
+            # already shipped, so absorb the result like any duplicate.
+            self.counters["duplicates"] += 1
+            return "duplicate"
+        live = lease_id in task.leases
+        task.state = DONE
+        task.leases.clear()
+        self.counters["completed"] += 1
+        if not live:
+            self.counters["late"] += 1
+            return "late"
+        return "completed"
+
+    def fail(self, lease_id: int, now: float, reason: str = "failed") -> str:
+        """A worker explicitly reports an attempt failed.
+
+        Faster than waiting for lease expiry, same outcome: requeue
+        with backoff, or a dead letter once attempts are exhausted.
+        Returns ``"requeued"``, ``"dead"``, or ``"ignored"`` (the task
+        already completed via another lease).
+        """
+        key = self._lease_owner.get(lease_id)
+        if key is None:
+            raise KeyError(f"unknown lease id {lease_id}")
+        task = self._tasks[key]
+        task.leases.pop(lease_id, None)
+        if task.state != LEASED:
+            return "ignored"
+        if task.leases:
+            return "ignored"
+        return self._requeue_or_bury(task, now, reason)
+
+    def expire(self, now: float) -> List[int]:
+        """Reap every lease whose deadline has passed; returns their ids.
+
+        A LEASED task whose last lease expired is requeued (with the
+        backoff hold) or dead-lettered.  Leases left dangling on DONE
+        tasks are simply dropped.
+        """
+        reaped: List[int] = []
+        for key in self._order:
+            task = self._tasks[key]
+            dead = [lid for lid, deadline in task.leases.items()
+                    if deadline <= now]
+            for lid in dead:
+                del task.leases[lid]
+                self.counters["expired"] += 1
+                reaped.append(lid)
+            if task.state == LEASED and dead and not task.leases:
+                self._requeue_or_bury(task, now, "lease expired")
+        return reaped
+
+    def _requeue_or_bury(self, task: _Task, now: float, reason: str) -> str:
+        """Send a failed task back to the queue, or to the dead letters."""
+        if task.attempts >= self.max_attempts:
+            task.state = DEAD
+            letter = DeadLetter(
+                key=task.key, attempts=task.attempts,
+                reason=f"{reason} after {task.attempts} attempts",
+                payload=task.payload)
+            self.dead_letters.append(letter)
+            self.counters["dead"] += 1
+            return "dead"
+        task.state = QUEUED
+        task.not_before = now + self.backoff.delay(task.key,
+                                                   task.attempts - 1)
+        self.counters["retried"] += 1
+        return "requeued"
+
+    # -- observation ---------------------------------------------------------
+
+    def state(self, key: str) -> str:
+        """The lifecycle state of one task."""
+        return self._tasks[key].state
+
+    def outstanding(self) -> int:
+        """How many tasks are not yet DONE or DEAD."""
+        return sum(1 for t in self._tasks.values()
+                   if t.state in (QUEUED, LEASED))
+
+    def next_eligible(self) -> Optional[float]:
+        """The earliest ``not_before`` among queued tasks, or ``None``.
+
+        Lets the coordinator jump virtual time straight to the next
+        backoff release instead of spinning ticks.
+        """
+        holds = [t.not_before for t in self._tasks.values()
+                 if t.state == QUEUED]
+        return min(holds) if holds else None

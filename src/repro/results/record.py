@@ -50,8 +50,11 @@ SCHEMA_VERSION = 1
 #: environment metadata that cannot influence results (executors are
 #: bit-identical; the package version only matters when values actually
 #: change, which the stats digest already captures; per-cell wall-times
-#: describe the machine that ran the cells, not the experiment).
-_RUN_ID_EXCLUDED = ("run_id", "executor", "package_version", "timings")
+#: describe the machine that ran the cells, not the experiment; fleet
+#: telemetry — lease/retry counters and dead letters — describes how
+#: the work-queue run went, not what was computed).
+_RUN_ID_EXCLUDED = ("run_id", "executor", "package_version", "timings",
+                    "fleet")
 
 #: The two provenance kinds a record can describe.
 _KINDS = ("bench", "spec")
@@ -366,11 +369,17 @@ class RunRecord:
     #: excluded from ``run_id``/``config_digest``, advisory only, and
     #: never shape-validated — a record without timings is complete.
     timings: Optional[Tuple[Tuple[Optional[float], ...], ...]] = None
+    #: Fleet-run telemetry (``{"counters": ..., "dead_letters": ...}``)
+    #: stamped by runs on the work-queue executor.  Environment metadata
+    #: like ``timings``: excluded from ``run_id``, advisory only,
+    #: emitted only when present — non-fleet records are unchanged.
+    fleet: Optional[Dict[str, object]] = None
 
     @classmethod
     def build(cls, *, kind: str, name: str, result_stem: str,
               executor: str, full: bool, panels: Iterable[PanelRecord],
-              timings: Optional[Iterable] = None) -> "RunRecord":
+              timings: Optional[Iterable] = None,
+              fleet: Optional[Mapping] = None) -> "RunRecord":
         """Assemble a record, computing ``config_digest`` and ``run_id``."""
         from .. import __version__
         from ..evaluation.engine import ENGINE_VERSION
@@ -383,11 +392,13 @@ class RunRecord:
         if timings is not None:
             timings = tuple(tuple(None if t is None else float(t)
                                   for t in panel) for panel in timings)
+        if fleet is not None:
+            fleet = _jsonify(fleet, "fleet telemetry")
         record = cls(schema_version=SCHEMA_VERSION, kind=kind, name=name,
                      result_stem=result_stem, package_version=__version__,
                      engine_version=ENGINE_VERSION, executor=executor,
                      full=bool(full), config_digest="", run_id="",
-                     panels=panels, timings=timings)
+                     panels=panels, timings=timings, fleet=fleet)
         object.__setattr__(record, "config_digest",
                            compute_config_digest(record.to_dict()))
         object.__setattr__(record, "run_id",
@@ -409,6 +420,8 @@ class RunRecord:
                    "panels": [panel.to_dict() for panel in self.panels]}
         if self.timings is not None:
             payload["timings"] = [list(panel) for panel in self.timings]
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet
         return payload
 
     def cell_digests(self) -> set:
@@ -480,6 +493,11 @@ class RunRecord:
                 rows.append(tuple(None if t is None else float(t)
                                   for t in row))
             timings = tuple(rows)
+        fleet = None
+        if "fleet" in payload:
+            # Advisory like timings: the shape of the telemetry never
+            # gates a load, only its top-level type is checked.
+            fleet = dict(_get(payload, "fleet", dict, "run record"))
         record = cls(
             schema_version=version, kind=kind,
             name=_get(payload, "name", str, "run record"),
@@ -491,7 +509,7 @@ class RunRecord:
             full=_get(payload, "full", bool, "run record"),
             config_digest=_get(payload, "config_digest", str, "run record"),
             run_id=_get(payload, "run_id", str, "run record"),
-            panels=panels, timings=timings)
+            panels=panels, timings=timings, fleet=fleet)
         if not panels:
             raise ResultsError("run record carries no panels")
         expected_config = compute_config_digest(record.to_dict())
@@ -541,6 +559,7 @@ class RunRecorder:
         self.full = bool(full)
         self._panels: List[PanelRecord] = []
         self._timings: List[Tuple[Optional[float], ...]] = []
+        self._fleet: Optional[Mapping] = None
 
     def add_panel(self, *, title: str, x_name: str, sweep_name: str,
                   series_name: str, sweep_values, series_values, seed,
@@ -571,6 +590,16 @@ class RunRecorder:
             point_fingerprint=point_fingerprint, cells=tuple(cell_records)))
         self._timings.append(tuple(elapsed_row))
 
+    def set_fleet(self, payload: Optional[Mapping]) -> None:
+        """Attach fleet-run telemetry (counters, dead letters) to the record.
+
+        Called by the service tier after a work-queue run settles;
+        ``None`` (the default state) leaves the record without a
+        ``fleet`` key, so non-fleet records are byte-identical to
+        records written before the fleet existed.
+        """
+        self._fleet = payload
+
     def finalize(self) -> RunRecord:
         """Seal the collected panels into an immutable :class:`RunRecord`.
 
@@ -583,4 +612,5 @@ class RunRecorder:
                                result_stem=self.result_stem,
                                executor=self.executor, full=self.full,
                                panels=self._panels,
-                               timings=self._timings if timed else None)
+                               timings=self._timings if timed else None,
+                               fleet=self._fleet)

@@ -272,7 +272,7 @@ class ReproServer:
                                      or not isinstance(n_trials, int)):
             raise _HttpError(400, "Bad Request", "n_trials must be an int")
         executor = request.get("executor", "serial")
-        if executor not in ("serial", "thread", "process"):
+        if executor not in ("serial", "thread", "process", "fleet"):
             raise _HttpError(400, "Bad Request",
                              f"unknown executor {executor!r}")
 

@@ -20,6 +20,7 @@ from .core import BenchRun, ServiceCore, SpecRun
 from .serializers import (
     cache_stats_payload,
     catalog_payload,
+    fleet_counters,
     list_payload,
     record_store_entry,
     record_summary,
@@ -33,6 +34,7 @@ __all__ = [
     "SpecRun",
     "cache_stats_payload",
     "catalog_payload",
+    "fleet_counters",
     "list_payload",
     "record_store_entry",
     "record_summary",

@@ -41,6 +41,7 @@ from ..evaluation import (
 from ..evaluation.scenarios import point_fingerprint
 from ..exceptions import ResultsError
 from ..experiments import bench, bench_names, bench_recorder
+from ..fleet import FleetExecutor, FleetOptions, FleetStats
 from ..experiments.catalog import BenchDef, claimed_digests
 from ..results import (
     ResultsStore,
@@ -105,6 +106,12 @@ class ServiceCore:
     baselines_dir: Optional[Path] = None
     cache: Optional[ResultCache] = None
     flight: SingleFlight = field(default_factory=SingleFlight)
+    #: Configuration applied to every ``executor="fleet"`` run this
+    #: core performs (pool size, lease policy, injected faults).
+    fleet: FleetOptions = field(default_factory=FleetOptions)
+    #: Core-lifetime fleet counters, accumulated across every fleet run
+    #: and surfaced by ``/stats`` and ``cache stats --json``.
+    fleet_stats: FleetStats = field(default_factory=FleetStats)
 
     def __post_init__(self):
         """Normalise path-like and directory-like constructor arguments."""
@@ -191,15 +198,22 @@ class ServiceCore:
         # never happened.
         label = resolved[0] if len(set(resolved)) == 1 else "mixed"
         recorder = bench_recorder(definition, executor=label, full=full)
+        # One fleet instance spans every panel of the run, so its
+        # counters and dead letters describe exactly this record.
+        runner = FleetExecutor(self.fleet) if executor == "fleet" else None
         blocks, panels = [], []
         for panel, panel_executor in zip(definition.panels, resolved):
-            series = panel.run(executor=panel_executor, cache=self.cache,
+            series = panel.run(executor=runner if runner is not None
+                               else panel_executor, cache=self.cache,
                                n_trials=n_trials, max_workers=max_workers,
                                chunksize=chunksize, recorder=recorder,
                                flight=self.flight)
             blocks.append(format_panel_block(panel.title, panel.x_name,
                                              panel.sweep_values, series))
             panels.append(series)
+        if runner is not None:
+            self.fleet_stats.merge(runner.stats)
+            recorder.set_fleet(runner.record_payload())
         return BenchRun(definition=definition, record=recorder.finalize(),
                         blocks=tuple(blocks), panels=tuple(panels),
                         executors=resolved)
@@ -213,9 +227,14 @@ class ServiceCore:
                                result_stem=spec.name, executor=executor,
                                full=False)
         cells, on_cell = cell_capture()
-        result = spec.run(executor=executor, cache=self.cache,
-                          n_trials=n_trials, max_workers=max_workers,
-                          flight=self.flight, on_cell=on_cell)
+        runner = FleetExecutor(self.fleet) if executor == "fleet" else None
+        result = spec.run(executor=runner if runner is not None else executor,
+                          cache=self.cache, n_trials=n_trials,
+                          max_workers=max_workers, flight=self.flight,
+                          on_cell=on_cell)
+        if runner is not None:
+            self.fleet_stats.merge(runner.stats)
+            recorder.set_fleet(runner.record_payload())
         series = {label: [stat.mean for stat in stats]
                   for label, stats in result.series.items()}
         title = (f"{spec.name}: {spec.metric} ({spec.solver} on {spec.data}, "

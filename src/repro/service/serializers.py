@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..evaluation import ResultCache, SingleFlight
+from ..fleet import FleetStats
 from ..registry import ALL_REGISTRIES
 from ..results import RunRecord
 from .core import BenchRun, ServiceCore
@@ -73,10 +74,16 @@ def flight_counters(flight: SingleFlight) -> Dict[str, int]:
     return {"led": flight.led, "coalesced": flight.coalesced}
 
 
+def fleet_counters(stats: FleetStats) -> Dict[str, int]:
+    """The work-queue executor's counters (leased/completed/retried/dead)."""
+    return stats.as_dict()
+
+
 def stats_payload(core: ServiceCore) -> Dict[str, object]:
-    """``GET /stats``: live cache and coalescing counters for one core."""
+    """``GET /stats``: live cache, coalescing, and fleet counters."""
     return {"cache": cache_counters(core.cache),
-            "flight": flight_counters(core.flight)}
+            "flight": flight_counters(core.flight),
+            "fleet": fleet_counters(core.fleet_stats)}
 
 
 def run_payload(core: ServiceCore, run: BenchRun) -> Dict[str, object]:
@@ -88,14 +95,18 @@ def run_payload(core: ServiceCore, run: BenchRun) -> Dict[str, object]:
 
 
 def cache_stats_payload(directory: Path, split: Dict[str, List[Path]],
-                        records: List[Dict[str, object]]) -> Dict[str, object]:
+                        records: List[Dict[str, object]],
+                        fleet: Optional[FleetStats] = None
+                        ) -> Dict[str, object]:
     """``cache stats --json``: the scan split plus record-store sizes.
 
     ``records`` entries come from :func:`record_store_entry` — one per
     reported store directory, mirroring the human ``[records]`` lines.
+    ``fleet`` (when given) adds the work-queue executor counters under
+    a ``"fleet"`` key, matching the server's ``GET /stats`` shape.
     """
     cells = split["claimed"] + split["baseline"] + split["orphaned"]
-    return {
+    payload = {
         "dir": str(directory),
         "cells": len(cells),
         "bytes": sum(cell.stat().st_size for cell in cells),
@@ -104,6 +115,9 @@ def cache_stats_payload(directory: Path, split: Dict[str, List[Path]],
         "orphaned": len(split["orphaned"]),
         "records": records,
     }
+    if fleet is not None:
+        payload["fleet"] = fleet_counters(fleet)
+    return payload
 
 
 def record_store_entry(directory: Path, runs: List[Path],
