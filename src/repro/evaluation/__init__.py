@@ -17,6 +17,7 @@ from .scenarios import (
     FingerprintError,
     PointSpec,
     Scenario,
+    batch_method,
     module_token,
     point_fingerprint,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "TrialJob",
     "TrialStats",
     "ascii_plot",
+    "batch_method",
     "build_jobs",
     "classification_accuracy",
     "excess_empirical_risk",

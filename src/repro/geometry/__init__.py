@@ -1,6 +1,6 @@
 """Constraint-set substrate: polytopes, linear oracles, projections."""
 
-from .polytope import L1Ball, Polytope, Simplex, hypercube
+from .polytope import Hypercube, L1Ball, Polytope, Simplex, hypercube
 from .projections import (
     hard_threshold,
     project_l1_ball,
@@ -11,6 +11,7 @@ from .projections import (
 )
 
 __all__ = [
+    "Hypercube",
     "L1Ball",
     "Polytope",
     "Simplex",

@@ -224,18 +224,82 @@ class Simplex(Polytope):
         return non_negative and sums
 
 
+class Hypercube(Polytope):
+    """The ℓ∞ ball ``[-radius, radius]^d`` as a lazy vertex polytope.
+
+    Vertex ``m`` has coordinate ``j`` equal to ``+radius`` when bit
+    ``j`` of ``m`` is set and ``-radius`` otherwise — the same layout
+    (and the same float values) as the nested-comprehension
+    construction this class replaced, but built by a vectorized numpy
+    bit-pattern expansion, and only on demand: :meth:`vertex_scores`,
+    :meth:`vertex`, ``dimension`` and ``n_vertices`` never materialize
+    the ``2^d x d`` vertex matrix at all.  Generic :class:`Polytope`
+    operations that genuinely need the matrix (``l1_diameter``,
+    ``contains``, ...) trigger a one-time cached construction.
+    """
+
+    def __init__(self, dimension: int, radius: float = 1.0):
+        check_positive_int(dimension, "dimension")
+        check_positive(radius, "radius")
+        if dimension > 16:
+            raise ValueError(
+                "hypercube vertex enumeration is limited to d <= 16")
+        self._dim = dimension
+        self._radius = float(radius)
+        self._corner_cache: np.ndarray = None  # type: ignore[assignment]
+
+    @property
+    def dimension(self) -> int:
+        return self._dim
+
+    @property
+    def n_vertices(self) -> int:
+        return 2 ** self._dim
+
+    @property
+    def _vertices(self) -> np.ndarray:
+        """The dense corner matrix, built on first use and cached."""
+        if self._corner_cache is None:
+            masks = np.arange(2 ** self._dim)[:, None]
+            bits = (masks >> np.arange(self._dim)) & 1
+            self._corner_cache = np.where(bits == 1, self._radius,
+                                          -self._radius)
+        return self._corner_cache
+
+    def vertex(self, index: int) -> np.ndarray:
+        if not 0 <= index < 2 ** self._dim:
+            raise IndexError(
+                f"vertex index {index} out of range [0, {2 ** self._dim})")
+        bits = (index >> np.arange(self._dim)) & 1
+        return np.where(bits == 1, self._radius, -self._radius)
+
+    def vertex_scores(self, gradient: np.ndarray) -> np.ndarray:
+        """Scores ``-<v, g>`` for all ``2^d`` corners, matrix-free.
+
+        Accumulates each coordinate's two possible contributions
+        (``±radius * g_j``) along its own axis of a ``(2,) * d`` tensor
+        and flattens — ``O(d 2^d)`` work and ``O(2^d)`` memory instead
+        of the ``O(2^d x d)`` dense score product.  Axis ``d - 1 - j``
+        carries bit ``j`` so the flattened order matches the vertex
+        index layout.
+        """
+        g = check_vector(gradient, "gradient", dim=self._dim)
+        scores = np.zeros((2,) * self._dim)
+        for j in range(self._dim):
+            shape = [1] * self._dim
+            shape[self._dim - 1 - j] = 2
+            contrib = np.array([self._radius * g[j], -self._radius * g[j]])
+            scores = scores + contrib.reshape(shape)
+        return scores.reshape(-1)
+
+
 def hypercube(dimension: int, radius: float = 1.0) -> Polytope:
     """The ℓ∞ ball ``[-radius, radius]^d`` as an explicit vertex polytope.
 
     Only sensible for small ``d`` (``2^d`` vertices); used in tests and
-    as an example of a generic polytope constraint.
+    as an example of a generic polytope constraint.  Returns a
+    :class:`Hypercube`, whose corner matrix is constructed lazily from
+    numpy bit patterns and whose ``vertex_scores`` never materializes
+    it.
     """
-    check_positive_int(dimension, "dimension")
-    check_positive(radius, "radius")
-    if dimension > 16:
-        raise ValueError("hypercube vertex enumeration is limited to d <= 16")
-    corners = np.array(
-        [[radius if (mask >> j) & 1 else -radius for j in range(dimension)]
-         for mask in range(2**dimension)]
-    )
-    return Polytope(corners)
+    return Hypercube(dimension, radius)

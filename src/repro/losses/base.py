@@ -108,14 +108,21 @@ class MarginLoss(Loss):
 
 def finite_difference_gradient(loss: Loss, w: np.ndarray, X: np.ndarray,
                                y: np.ndarray, step: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of ``loss.value`` — a testing oracle."""
+    """Central-difference gradient of ``loss.value`` — a testing oracle.
+
+    The ``2d`` perturbed weight vectors are built in one shot from a
+    batched perturbation matrix (``w ± step * I``) and the differences
+    are reduced as whole arrays; only the ``loss.value`` evaluations
+    remain a loop, deliberately — batching them would turn each
+    per-vector gemv into one gemm, whose columns are not bit-identical
+    to the gemv results, and a *testing oracle* must not drift from the
+    per-coordinate definition it checks against.
+    """
     w = np.asarray(w, dtype=float)
-    grad = np.zeros_like(w)
-    for j in range(w.size):
-        bump = np.zeros_like(w)
-        bump[j] = step
-        grad[j] = (loss.value(w + bump, X, y) - loss.value(w - bump, X, y)) / (2 * step)
-    return grad
+    bumps = step * np.eye(w.size)
+    values_plus = np.array([loss.value(row, X, y) for row in w + bumps])
+    values_minus = np.array([loss.value(row, X, y) for row in w - bumps])
+    return (values_plus - values_minus) / (2 * step)
 
 
 def resolve_loss(spec, **kwargs) -> Loss:
