@@ -38,7 +38,17 @@ Subcommands
     Serve the catalog, run records, and cached cells over HTTP and
     accept ``POST /run`` compute requests — concurrent cold requests
     for the same bench coalesce onto one engine computation per cell
-    digest (see :mod:`repro.server`).
+    digest (see :mod:`repro.server`).  ``--broker HOST:PORT`` routes
+    fleet-executor requests to the networked fleet.
+
+``broker`` / ``fleet-worker``
+    The networked fleet backend (see :mod:`repro.fleet.net`): a TCP
+    broker server speaking the fleet's lease/heartbeat/complete
+    protocol, and real worker processes that lease digest-keyed cells
+    from it, compute through the unchanged engine job path, and
+    complete with bit-identical values.  ``python -m repro run <bench>
+    --executor fleet --broker HOST:PORT`` coordinates a run across
+    them.
 
 ``cache stats`` / ``cache prune``
     Inspect or garbage-collect a cell cache directory: ``prune``
@@ -66,6 +76,7 @@ from typing import List, Optional
 from .evaluation import ExperimentSpec, ResultCache
 from .exceptions import ResultsError
 from .experiments import bench, bench_names
+from .fleet import FleetOptions
 from .registry import ALL_REGISTRIES, UnknownNameError
 from .results import (
     ResultsStore,
@@ -111,6 +122,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="paper-scale grids (hours) instead of laptop scale")
     run.add_argument("--max-workers", type=int, default=None, metavar="N",
                      help="pool size for thread/process/fleet executors")
+    run.add_argument("--broker", metavar="HOST:PORT",
+                     default=os.environ.get("REPRO_FLEET_BROKER") or None,
+                     help="socket broker address for --executor fleet: "
+                          "cells are computed by real `python -m repro "
+                          "fleet-worker` processes instead of the "
+                          "in-process simulation (default: "
+                          "$REPRO_FLEET_BROKER)")
     run.add_argument("--results-dir", default=None, metavar="DIR",
                      help="where to write the bench results table and run "
                           "record (default: benchmarks/results when it "
@@ -172,6 +190,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=os.environ.get("REPRO_BENCH_CACHE") or None,
                        help="cell cache backing /cells and POST /run "
                             "(default: $REPRO_BENCH_CACHE)")
+    serve.add_argument("--broker", metavar="HOST:PORT",
+                       default=os.environ.get("REPRO_FLEET_BROKER") or None,
+                       help="socket broker address: POST /run requests with "
+                            '"executor": "fleet" compute on the networked '
+                            "fleet (default: $REPRO_FLEET_BROKER)")
+
+    sub.add_parser(
+        "broker", add_help=False,
+        help="serve a fleet broker over TCP (python -m repro broker --help)")
+    sub.add_parser(
+        "fleet-worker", add_help=False,
+        help="lease and compute fleet cells from a socket broker "
+             "(python -m repro fleet-worker --help)")
 
     cache = sub.add_parser("cache", help="cell cache maintenance")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -214,6 +245,19 @@ def _print_fleet_stats(core: ServiceCore) -> None:
         print(f"[fleet] leased={stats.leased} completed={stats.completed} "
               f"retried={stats.retried} dead={stats.dead} "
               f"duplicates={stats.duplicates} expired={stats.expired}")
+
+
+def _fleet_options(args: argparse.Namespace) -> FleetOptions:
+    """The fleet configuration one CLI invocation asks for.
+
+    ``--broker`` only means anything under ``--executor fleet``; an
+    ambient ``REPRO_FLEET_BROKER`` with any other executor is silently
+    unused, exactly like ``REPRO_BENCH_CACHE`` without a cache consumer.
+    """
+    broker = getattr(args, "broker", None)
+    if broker and getattr(args, "executor", "fleet") == "fleet":
+        return FleetOptions(broker=broker)
+    return FleetOptions()
 
 
 def _default_results_dir() -> Optional[Path]:
@@ -259,7 +303,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         print("[run] --trials overrides the bench statistics; not writing "
               "the results table", file=sys.stderr)
         write = False
-    core = ServiceCore(results_dir=results_dir, cache=args.cache or None)
+    core = ServiceCore(results_dir=results_dir, cache=args.cache or None,
+                       fleet=_fleet_options(args))
     run = core.run_bench(args.target, full=args.full, n_trials=args.trials,
                          executor=args.executor,
                          max_workers=args.max_workers)
@@ -287,7 +332,7 @@ def _run_bench(args: argparse.Namespace) -> int:
 def _run_spec(args: argparse.Namespace, path: Path) -> int:
     """Run a TOML experiment spec; print its table, optionally record it."""
     spec = ExperimentSpec.from_toml(path)
-    core = ServiceCore(cache=args.cache or None)
+    core = ServiceCore(cache=args.cache or None, fleet=_fleet_options(args))
     run = core.run_spec(spec, executor=args.executor, n_trials=args.trials,
                         max_workers=args.max_workers)
     print(run.block)
@@ -539,12 +584,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     baselines = (Path(args.baselines) if args.baselines
                  else _default_baselines_dir())
     core = ServiceCore(results_dir=results_dir, baselines_dir=baselines,
-                       cache=args.cache or None)
+                       cache=args.cache or None, fleet=_fleet_options(args))
     return serve_forever(core, host=args.host, port=args.port)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # The networked-fleet processes own their argument surfaces (they
+    # are long-running daemons, not catalog commands); dispatch before
+    # the main parser so their --help and defaults live in one place.
+    if argv[:1] == ["broker"]:
+        from .fleet.net.server import main as broker_main
+        return broker_main(argv[1:])
+    if argv[:1] == ["fleet-worker"]:
+        from .fleet.net.worker import main as worker_main
+        return worker_main(argv[1:])
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "run":

@@ -3,6 +3,7 @@
 from .ascii_plots import ascii_plot
 from .engine import (
     ENGINE_VERSION,
+    EvictionPolicy,
     ProcessExecutor,
     ResultCache,
     SerialExecutor,
@@ -42,6 +43,7 @@ from .tables import (
 __all__ = [
     "AxisSpec",
     "ENGINE_VERSION",
+    "EvictionPolicy",
     "ExperimentRunner",
     "ExperimentSpec",
     "FingerprintError",

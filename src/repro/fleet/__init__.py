@@ -14,7 +14,13 @@ diagram.
 from .backoff import BackoffPolicy
 from .broker import DEAD, DONE, LEASED, QUEUED, DeadLetter, InProcessBroker, Lease
 from .clock import ManualClock, MonotonicClock
-from .executor import FleetError, FleetExecutor, FleetOptions, FleetStats
+from .executor import (
+    FleetError,
+    FleetExecutor,
+    FleetOptions,
+    FleetStats,
+    create_fleet_executor,
+)
 from .faults import FaultSchedule
 
 __all__ = [
@@ -33,4 +39,5 @@ __all__ = [
     "ManualClock",
     "MonotonicClock",
     "QUEUED",
+    "create_fleet_executor",
 ]

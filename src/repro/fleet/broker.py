@@ -39,7 +39,7 @@ slots in behind the same :class:`~repro.fleet.executor.FleetExecutor`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .backoff import BackoffPolicy
 
@@ -87,6 +87,13 @@ class _Task:
     not_before: float = 0.0
     #: Active leases: lease_id -> deadline.
     leases: Dict[int, float] = field(default_factory=dict)
+    #: Every lease id ever issued for this task — the set to prune from
+    #: the broker's lease index once the task resolves (DONE/DEAD).
+    history: List[int] = field(default_factory=list)
+    #: The completed values (and compute seconds), when the completing
+    #: worker shipped them through the broker (the networked tier does;
+    #: the in-process simulation keeps values worker-side).
+    result: Optional[Tuple[List[float], Optional[float]]] = None
 
 
 class InProcessBroker:
@@ -168,6 +175,7 @@ class InProcessBroker:
         self._next_lease += 1
         deadline = now + self.lease_timeout
         task.leases[lease_id] = deadline
+        task.history.append(lease_id)
         self._lease_owner[lease_id] = task.key
         self.counters[counter] += 1
         return Lease(lease_id=lease_id, key=task.key, attempt=attempt,
@@ -190,8 +198,36 @@ class InProcessBroker:
         self.counters["heartbeats"] += 1
         return True
 
-    def complete(self, lease_id: int, now: float) -> str:
+    def _resolve_owner(self, lease_id: int) -> Optional[str]:
+        """The key a lease id maps to, or ``None`` for a *pruned* id.
+
+        Lease ids of resolved (DONE/DEAD) tasks are pruned from the
+        index so a long-lived broker cannot leak one entry per lease;
+        a pruned-but-once-issued id therefore resolves to ``None``
+        (its task settled long ago), while an id that was *never*
+        issued is a caller bug and raises.
+        """
+        key = self._lease_owner.get(lease_id)
+        if key is None and not 0 <= lease_id < self._next_lease:
+            raise KeyError(f"unknown lease id {lease_id}")
+        return key
+
+    def _prune(self, task: _Task) -> None:
+        """Drop a resolved task's lease ids from the owner index."""
+        for lease_id in task.history:
+            self._lease_owner.pop(lease_id, None)
+        task.history.clear()
+
+    def complete(self, lease_id: int, now: float,
+                 values: Optional[List[float]] = None,
+                 elapsed: Optional[float] = None) -> str:
         """Report a finished attempt; idempotent by construction.
+
+        ``values`` (and ``elapsed``) optionally ship the computed cell
+        through the broker: the first completion pins them, a
+        :meth:`result` query reads them back.  The in-process simulation
+        never passes them (its workers keep values locally); networked
+        workers always do — the broker is their only channel home.
 
         Returns one of:
 
@@ -203,21 +239,24 @@ class InProcessBroker:
         * ``"duplicate"`` — the task was already DONE (a twin delivery
           or an even later straggler).  Counted and ignored.
         """
-        key = self._lease_owner.get(lease_id)
+        key = self._resolve_owner(lease_id)
         if key is None:
-            raise KeyError(f"unknown lease id {lease_id}")
-        task = self._tasks[key]
-        if task.state == DONE:
+            # A straggler for a task that already resolved and had its
+            # lease ids pruned: absorb it like any other duplicate.
             self.counters["duplicates"] += 1
             return "duplicate"
-        if task.state == DEAD:
-            # Exhausted while this straggler computed; the dead letter
-            # already shipped, so absorb the result like any duplicate.
+        task = self._tasks[key]
+        if task.state in (DONE, DEAD):
+            # Already settled (DEAD: exhausted while this straggler
+            # computed; the dead letter already shipped) — absorb.
             self.counters["duplicates"] += 1
             return "duplicate"
         live = lease_id in task.leases
         task.state = DONE
         task.leases.clear()
+        if values is not None:
+            task.result = ([float(v) for v in values], elapsed)
+        self._prune(task)
         self.counters["completed"] += 1
         if not live:
             self.counters["late"] += 1
@@ -232,9 +271,9 @@ class InProcessBroker:
         Returns ``"requeued"``, ``"dead"``, or ``"ignored"`` (the task
         already completed via another lease).
         """
-        key = self._lease_owner.get(lease_id)
+        key = self._resolve_owner(lease_id)
         if key is None:
-            raise KeyError(f"unknown lease id {lease_id}")
+            return "ignored"
         task = self._tasks[key]
         task.leases.pop(lease_id, None)
         if task.state != LEASED:
@@ -267,6 +306,7 @@ class InProcessBroker:
         """Send a failed task back to the queue, or to the dead letters."""
         if task.attempts >= self.max_attempts:
             task.state = DEAD
+            self._prune(task)
             letter = DeadLetter(
                 key=task.key, attempts=task.attempts,
                 reason=f"{reason} after {task.attempts} attempts",
@@ -285,6 +325,15 @@ class InProcessBroker:
     def state(self, key: str) -> str:
         """The lifecycle state of one task."""
         return self._tasks[key].state
+
+    def result(self, key: str) -> Optional[Tuple[List[float], Optional[float]]]:
+        """The ``(values, elapsed)`` a completion shipped, or ``None``.
+
+        ``None`` means the task has not completed *with values* — it may
+        be pending, dead, or completed by a worker that kept its values
+        local (the in-process simulation).
+        """
+        return self._tasks[key].result
 
     def outstanding(self) -> int:
         """How many tasks are not yet DONE or DEAD."""

@@ -70,6 +70,16 @@ class FleetOptions:
     #: ``"record"`` returns placeholder cells (``cacheable=False``) and
     #: surfaces dead letters in stats/records; ``"raise"`` aborts.
     dead_letter_policy: str = "record"
+    #: ``HOST:PORT`` of a networked broker server.  When set,
+    #: :func:`create_fleet_executor` returns the remote coordinator
+    #: (:class:`~repro.fleet.net.executor.RemoteFleetExecutor`) instead
+    #: of the in-process simulation; ``n_workers``/``tick``/``faults``
+    #: then describe nothing — real worker processes bring their own.
+    broker: Optional[str] = None
+    #: Remote coordinator poll cadence (seconds between expire/settle
+    #: sweeps) and per-``run`` wall-clock budget.
+    poll_interval: float = 0.2
+    run_timeout: float = 600.0
 
     def __post_init__(self):
         """Validate pool and timing parameters."""
@@ -86,6 +96,13 @@ class FleetOptions:
         if self.dead_letter_policy not in ("record", "raise"):
             raise ValueError(f"dead_letter_policy must be 'record' or "
                              f"'raise', got {self.dead_letter_policy!r}")
+        if self.poll_interval <= 0 or self.run_timeout <= 0:
+            raise ValueError("poll_interval and run_timeout must be > 0")
+        if self.broker is not None:
+            # Validate the HOST:PORT shape eagerly — a typo should fail
+            # at option construction, not mid-run inside a socket call.
+            from .net.protocol import parse_address
+            parse_address(self.broker)
 
 
 @dataclass
@@ -124,6 +141,36 @@ class FleetStats:
     def active(self) -> bool:
         """Whether this fleet has done any work at all."""
         return any(getattr(self, spec.name) for spec in fields(self))
+
+
+def assemble_results(order: Sequence[str], jobs: Dict[str, object],
+                     results: Dict[str, Tuple[List[float], Optional[float]]],
+                     dead: set, options: FleetOptions) -> List[Tuple]:
+    """Fold a settled run back into payload-order engine cell triples.
+
+    Shared by the in-process and networked coordinators: completed keys
+    become ``(values, elapsed, cacheable=True)`` cells, dead-lettered
+    keys become uncacheable placeholders (or abort the run under
+    ``dead_letter_policy="raise"``), and a key in neither map is a
+    coordinator bug worth crashing on.
+    """
+    out: List[Tuple] = []
+    for key in order:
+        if key in results:
+            values, elapsed = results[key]
+            out.append((list(values), elapsed, True))
+        elif key in dead:
+            if options.dead_letter_policy == "raise":
+                raise FleetError(
+                    f"cell {key} dead-lettered after "
+                    f"{options.max_attempts} attempts")
+            # Placeholder values, never cached: the run completes
+            # and records the loss instead of poisoning the cache.
+            out.append(([0.0] * jobs[key].n_trials, None, False))
+        else:
+            raise FleetError(f"coordinator lost track of cell {key}; "
+                             f"this is a fleet bug")
+    return out
 
 
 class _Worker:
@@ -172,9 +219,15 @@ class FleetExecutor:
     """
 
     def __init__(self, options: Optional[FleetOptions] = None,
-                 clock: Optional[ManualClock] = None):
+                 clock: Optional[ManualClock] = None, broker_factory=None):
         self.options = options if options is not None else FleetOptions()
         self.clock = clock if clock is not None else ManualClock()
+        #: Builds the per-run broker.  The default is the in-process
+        #: dict; tests inject a :class:`~repro.fleet.net.SocketBroker`
+        #: factory here to run the identical simulation over a real
+        #: socket server (the contract, not the transport, decides).
+        self.broker_factory = (broker_factory if broker_factory is not None
+                               else InProcessBroker)
         self.stats = FleetStats()
         self.dead_letters: List[Dict[str, object]] = []
 
@@ -191,9 +244,9 @@ class FleetExecutor:
         if not payloads:
             return []
         opts = self.options
-        broker = InProcessBroker(lease_timeout=opts.lease_timeout,
-                                 max_attempts=opts.max_attempts,
-                                 backoff=opts.backoff)
+        broker = self.broker_factory(lease_timeout=opts.lease_timeout,
+                                     max_attempts=opts.max_attempts,
+                                     backoff=opts.backoff)
         order: List[str] = []
         jobs: Dict[str, object] = {}
         for point, job in payloads:
@@ -204,24 +257,8 @@ class FleetExecutor:
         results: Dict[str, Tuple[List[float], Optional[float]]] = {}
         self._simulate(broker, workers, results)
         self._harvest(broker, jobs)
-        out: List[Tuple] = []
         dead = {letter.key for letter in broker.dead_letters}
-        for key in order:
-            if key in results:
-                values, elapsed = results[key]
-                out.append((list(values), elapsed, True))
-            elif key in dead:
-                if opts.dead_letter_policy == "raise":
-                    raise FleetError(
-                        f"cell {key} dead-lettered after "
-                        f"{opts.max_attempts} attempts")
-                # Placeholder values, never cached: the run completes
-                # and records the loss instead of poisoning the cache.
-                out.append(([0.0] * jobs[key].n_trials, None, False))
-            else:
-                raise FleetError(f"coordinator lost track of cell {key}; "
-                                 f"this is a fleet bug")
-        return out
+        return assemble_results(order, jobs, results, dead, opts)
 
     # -- simulation ----------------------------------------------------------
 
@@ -364,3 +401,24 @@ class FleetExecutor:
         if self.dead_letters:
             payload["dead_letters"] = [dict(d) for d in self.dead_letters]
         return payload
+
+
+def create_fleet_executor(options: Optional[FleetOptions] = None,
+                          clock: Optional[ManualClock] = None):
+    """The fleet executor an options object actually asks for.
+
+    ``options.broker`` unset: the deterministic in-process simulation
+    (:class:`FleetExecutor`).  Set: the networked coordinator
+    (:class:`~repro.fleet.net.executor.RemoteFleetExecutor`) that
+    enqueues onto the socket broker at that address and lets real
+    worker processes compute.  Both satisfy the executor protocol and
+    expose the same ``stats``/``dead_letters``/``record_payload``
+    surface, so every caller upstream is transport-blind.
+    """
+    opts = options if options is not None else FleetOptions()
+    if opts.broker:
+        # Imported lazily: the networked tier is dead weight for the
+        # simulated fleet, and the module import would be circular.
+        from .net.executor import RemoteFleetExecutor
+        return RemoteFleetExecutor(opts)
+    return FleetExecutor(opts, clock=clock)

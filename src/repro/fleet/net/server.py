@@ -1,0 +1,218 @@
+"""``python -m repro broker`` — the shared broker behind a TCP socket.
+
+One :class:`~repro.fleet.broker.InProcessBroker` (which is not
+thread-safe by design) guarded by one lock, served to any number of
+coordinator and worker connections by a
+:class:`socketserver.ThreadingTCPServer`.  Every wire operation maps to
+one broker method call under the lock, so the networked fleet inherits
+the state machine — and the fault-tolerance proofs pinned by the
+in-process tests — unchanged.
+
+The server is deliberately clock-free, exactly like the broker it
+wraps: every time-dependent operation carries the caller's ``now``.
+Real deployments send ``time.time()`` (the protocol assumes loosely
+NTP-synchronised hosts; lease timeouts are seconds, not microseconds),
+and the deterministic harness sends virtual instants — the server
+cannot tell the difference.
+
+A ``reset`` operation atomically replaces the broker with a fresh one
+configured by the caller (lease policy and backoff travel as plain
+parameters).  The remote coordinator issues it once per run so counters
+and dead letters describe exactly that run; it is the single-tenant
+simplification of this tier — two coordinators sharing one broker
+server must not reset concurrently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socketserver
+import threading
+from typing import Dict, List, Optional
+
+from ..backoff import BackoffPolicy
+from ..broker import InProcessBroker
+from . import protocol
+
+
+class _BrokerHandler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request frames, each answered once."""
+
+    def handle(self):
+        """Serve frames until the peer disconnects."""
+        while True:
+            try:
+                frame = protocol.read_frame(self.rfile)
+            except protocol.ProtocolError as exc:
+                protocol.write_frame(self.wfile, protocol.error_response(exc))
+                return
+            if frame is None:
+                return
+            try:
+                result = self.server.broker_server.dispatch(
+                    frame.get("op"), frame.get("args") or {})
+                response = {"ok": True, "result": result}
+            except Exception as exc:  # noqa: BLE001 - becomes a wire error
+                response = protocol.error_response(exc)
+            try:
+                protocol.write_frame(self.wfile, response)
+            except OSError:
+                return
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    """Connection-per-thread TCP server with fast restart semantics."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+    broker_server: "BrokerServer"
+
+
+class BrokerServer:
+    """A lock-protected :class:`InProcessBroker` behind a TCP listener.
+
+    ``port=0`` binds an ephemeral port; read the resolved address back
+    from :attr:`host`/:attr:`port` after construction (the smoke
+    harness and tests rely on this, exactly like the HTTP tier).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 lease_timeout: float = 5.0, max_attempts: int = 3,
+                 backoff: Optional[BackoffPolicy] = None):
+        self._lock = threading.Lock()
+        self._broker = InProcessBroker(lease_timeout=lease_timeout,
+                                       max_attempts=max_attempts,
+                                       backoff=backoff)
+        self._server = _ThreadingServer((host, port), _BrokerHandler)
+        self._server.broker_server = self
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        """The resolved ``HOST:PORT`` this server listens on."""
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "BrokerServer":
+        """Serve on a background thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-broker", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting connections and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        """Start serving on entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop serving on exit."""
+        self.stop()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, op: str, args: Dict[str, object]) -> object:
+        """Execute one wire operation against the broker, under the lock.
+
+        Payloads pass through opaque: the server never unpickles what
+        it queues, it only hands the encoded string back inside the
+        lease.
+        """
+        with self._lock:
+            broker = self._broker
+            if op == "ping":
+                return {"protocol": protocol.PROTOCOL_VERSION,
+                        "lease_timeout": broker.lease_timeout,
+                        "max_attempts": broker.max_attempts}
+            if op == "enqueue":
+                return broker.enqueue(args["key"], args.get("payload"))
+            if op == "lease":
+                lease = broker.lease(args["now"])
+                return None if lease is None else protocol.lease_to_wire(lease)
+            if op == "duplicate_lease":
+                lease = broker.duplicate_lease(args["key"], args["now"])
+                return None if lease is None else protocol.lease_to_wire(lease)
+            if op == "heartbeat":
+                return broker.heartbeat(args["lease_id"], args["now"])
+            if op == "complete":
+                return broker.complete(args["lease_id"], args["now"],
+                                       values=args.get("values"),
+                                       elapsed=args.get("elapsed"))
+            if op == "fail":
+                return broker.fail(args["lease_id"], args["now"],
+                                   args.get("reason", "failed"))
+            if op == "expire":
+                return broker.expire(args["now"])
+            if op == "state":
+                return broker.state(args["key"])
+            if op == "result":
+                return protocol.result_to_wire(broker.result(args["key"]))
+            if op == "outstanding":
+                return broker.outstanding()
+            if op == "next_eligible":
+                return broker.next_eligible()
+            if op == "counters":
+                return dict(broker.counters)
+            if op == "dead_letters":
+                return [protocol.letter_to_wire(letter)
+                        for letter in broker.dead_letters]
+            if op == "reset":
+                self._broker = InProcessBroker(
+                    lease_timeout=args.get("lease_timeout",
+                                           broker.lease_timeout),
+                    max_attempts=args.get("max_attempts",
+                                          broker.max_attempts),
+                    backoff=(BackoffPolicy(**args["backoff"])
+                             if args.get("backoff") else broker.backoff))
+                return True
+            raise protocol.ProtocolError(f"unknown op {op!r}")
+
+
+def run_broker(host: str = "127.0.0.1", port: int = 8421, *,
+               lease_timeout: float = 5.0, max_attempts: int = 3) -> int:
+    """Blocking entry point for ``python -m repro broker``."""
+    server = BrokerServer(host, port, lease_timeout=lease_timeout,
+                          max_attempts=max_attempts)
+    print(f"[broker] listening on {server.address} "
+          f"lease_timeout={server._broker.lease_timeout} "
+          f"max_attempts={server._broker.max_attempts} (Ctrl-C to stop)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[broker] stopped")
+    finally:
+        server._server.server_close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone argv entry (``python -m repro.fleet.net.server``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro broker",
+        description="Serve a fleet broker over TCP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8421,
+                        help="port to listen on (0 picks an ephemeral port)")
+    parser.add_argument("--lease-timeout", type=float, default=5.0)
+    parser.add_argument("--max-attempts", type=int, default=3)
+    args = parser.parse_args(argv)
+    return run_broker(args.host, args.port, lease_timeout=args.lease_timeout,
+                      max_attempts=args.max_attempts)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the smoke CI job
+    raise SystemExit(main())

@@ -1,0 +1,202 @@
+"""Networked-fleet smoke: ``PYTHONPATH=src python -m repro.fleet.net.smoke``.
+
+The acceptance gate for the socket tier, with *real* processes — no
+threads standing in for workers, no simulated clock:
+
+* a broker subprocess (``python -m repro broker --port 0``);
+* two worker subprocesses (``python -m repro fleet-worker``), the first
+  scheduled to die mid-lease (``os._exit``) on the first attempt of the
+  first baseline cell, the survivor scheduled to drop one completion —
+  both faults forced at exact ``DIGEST:ATTEMPT`` coordinates read from
+  the committed baseline record;
+* a coordinator subprocess (``python -m repro run --executor fleet
+  --broker``) that must reproduce the committed baseline's ``run_id``
+  bit-for-bit despite the chaos, with ``repro diff --against-catalog``
+  exiting 0 as the verdict.
+
+Two further scenarios pin the worker-cache eviction policy under real
+processes: an unpinned LRU cache bounded at ``--cache-max-cells 3``
+ends the run holding at most three cells, while the same bound with
+``--baselines`` pinning keeps every baseline cell on disk.
+
+The CI ``fleet-net`` job runs this from the repo root and fails on any
+assertion; it exits 0 printing ``[fleet-net] ok``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .worker import KILL_EXIT_STATUS
+
+#: The bench every scenario runs: the cheapest baselined catalog entry
+#: (one panel, five cells at laptop scale, committed run_id).
+_BENCH = "ablation_truncation_threshold"
+_BASELINE = Path("benchmarks/baselines") / f"{_BENCH}.json"
+_STEM = "ablation_threshold"
+
+
+def _spawn(args: Sequence[str], **kwargs) -> subprocess.Popen:
+    """One repro subprocess with stdout captured as text."""
+    return subprocess.Popen([sys.executable, "-m", "repro", *args],
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True, **kwargs)
+
+
+def _await_broker(broker: subprocess.Popen) -> str:
+    """The address the broker subprocess printed at startup."""
+    line = broker.stdout.readline()
+    marker = "listening on "
+    if marker not in line:
+        raise AssertionError(f"unexpected broker banner: {line!r}")
+    return line.split(marker, 1)[1].split()[0]
+
+
+def _await_exit(process: subprocess.Popen, timeout: float = 60.0) -> int:
+    """The process's exit status, with its output echoed on timeout."""
+    try:
+        return process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise AssertionError(
+            f"subprocess did not exit within {timeout}s: "
+            f"{process.args}\n{process.stdout.read()}")
+
+
+def _reap(workers: List[subprocess.Popen]) -> None:
+    """Terminate any still-polling worker subprocesses."""
+    for worker in workers:
+        if worker.poll() is None:
+            worker.terminate()
+    for worker in workers:
+        if worker.poll() is None:
+            worker.wait(timeout=10.0)
+
+
+def _cells_on_disk(cache_dir: Path) -> List[str]:
+    """Every cell digest currently stored under a worker cache."""
+    return sorted(path.stem for path in cache_dir.rglob("*.json"))
+
+
+def _run_coordinator(address: str, results_dir: Path) -> dict:
+    """One catalog bench through the networked fleet; the run record."""
+    run = _spawn(["run", _BENCH, "--executor", "fleet",
+                  "--broker", address, "--results-dir", str(results_dir)])
+    status = _await_exit(run, timeout=120.0)
+    output = run.stdout.read()
+    assert status == 0, f"coordinator failed ({status}):\n{output}"
+    return json.loads((results_dir / f"{_STEM}.json").read_text())
+
+
+def _assert_diff_clean(results_dir: Path) -> None:
+    """``repro diff --against-catalog`` must exit 0 on the fresh record."""
+    diff = _spawn(["diff", str(results_dir / f"{_STEM}.json"),
+                   "--against-catalog", _BENCH])
+    status = _await_exit(diff)
+    output = diff.stdout.read()
+    assert status == 0, f"repro diff exited {status}:\n{output}"
+
+
+def _scenario_chaos(address: str, scratch: Path, digests: List[str],
+                    run_id: str) -> None:
+    """Kill one worker mid-lease, drop one completion, demand run_id parity.
+
+    The doomed worker starts alone so it necessarily leases the first
+    queued cell (lease order is queue order) and dies on it for real —
+    ``os._exit`` mid-lease, exit status :data:`KILL_EXIT_STATUS`.  The
+    survivor starts only after that death, inherits the retry, and
+    additionally loses one completion message of its own; every fault
+    is repaired by lease expiry + requeue, and the record must still
+    carry the committed ``run_id``.
+    """
+    results_dir = scratch / "chaos-results"
+    doomed = _spawn(["fleet-worker", "--broker", address, "--poll", "0.05",
+                     "--kill", f"{digests[0]}:0"])
+    coordinator = _spawn(["run", _BENCH, "--executor", "fleet",
+                          "--broker", address,
+                          "--results-dir", str(results_dir)])
+    survivor: Optional[subprocess.Popen] = None
+    try:
+        assert _await_exit(doomed, timeout=90.0) == KILL_EXIT_STATUS, \
+            "the doomed worker did not die with the kill status"
+        survivor = _spawn(["fleet-worker", "--broker", address,
+                           "--poll", "0.05", "--drop", f"{digests[1]}:0"])
+        status = _await_exit(coordinator, timeout=120.0)
+        output = coordinator.stdout.read()
+        assert status == 0, f"coordinator failed ({status}):\n{output}"
+    finally:
+        _reap([worker for worker in (doomed, survivor, coordinator)
+               if worker is not None])
+    record = json.loads((results_dir / f"{_STEM}.json").read_text())
+    assert record["run_id"] == run_id, (record["run_id"], run_id)
+    counters = record["fleet"]["counters"]
+    assert counters["expired"] >= 2, counters    # the kill and the drop
+    assert counters["retried"] >= 2, counters
+    assert counters["dead"] == 0, counters
+    _assert_diff_clean(results_dir)
+    print(f"[fleet-net] chaos run reproduced run_id {run_id} "
+          f"(expired={counters['expired']} retried={counters['retried']}); "
+          f"diff clean")
+
+
+def _scenario_eviction(address: str, scratch: Path,
+                       digests: List[str]) -> None:
+    """A bounded unpinned worker cache ends the run within its bound."""
+    cache_dir = scratch / "lru-cells"
+    worker = _spawn(["fleet-worker", "--broker", address, "--poll", "0.05",
+                     "--cache", str(cache_dir), "--cache-max-cells", "3"])
+    try:
+        record = _run_coordinator(address, scratch / "lru-results")
+    finally:
+        _reap([worker])
+    assert record["run_id"], record
+    kept = _cells_on_disk(cache_dir)
+    assert 0 < len(kept) <= 3, kept
+    assert set(kept) <= set(digests), (kept, digests)
+    print(f"[fleet-net] LRU bound held: {len(kept)}/{len(digests)} "
+          f"cells on disk (max 3)")
+
+
+def _scenario_pins(address: str, scratch: Path, digests: List[str]) -> None:
+    """Baseline pins exempt every baseline cell from the same bound."""
+    cache_dir = scratch / "pinned-cells"
+    worker = _spawn(["fleet-worker", "--broker", address, "--poll", "0.05",
+                     "--cache", str(cache_dir), "--cache-max-cells", "3",
+                     "--baselines", str(_BASELINE.parent)])
+    try:
+        _run_coordinator(address, scratch / "pinned-results")
+    finally:
+        _reap([worker])
+    kept = _cells_on_disk(cache_dir)
+    assert set(digests) <= set(kept), (kept, digests)
+    print(f"[fleet-net] baseline pins survived the bound: "
+          f"{len(digests)} pinned cells kept")
+
+
+def main() -> int:
+    """Run every networked-fleet scenario against one broker subprocess."""
+    baseline = json.loads(_BASELINE.read_text())
+    digests = [cell["digest"] for cell in baseline["panels"][0]["cells"]]
+    broker = _spawn(["broker", "--port", "0", "--lease-timeout", "3"])
+    try:
+        address = _await_broker(broker)
+        print(f"[fleet-net] broker subprocess on {address}")
+        with tempfile.TemporaryDirectory() as tmp:
+            scratch = Path(tmp)
+            _scenario_chaos(address, scratch, digests, baseline["run_id"])
+            _scenario_eviction(address, scratch, digests)
+            _scenario_pins(address, scratch, digests)
+    finally:
+        broker.terminate()
+        broker.wait(timeout=10.0)
+    print("[fleet-net] ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - the CI fleet-net job
+    sys.exit(main())

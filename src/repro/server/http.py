@@ -75,9 +75,16 @@ class ReproServer:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener and resolve the actual port."""
+        """Bind the listener and resolve the actual port.
+
+        The stream limit is set explicitly: ``readuntil`` raises once a
+        head exceeds it, and the default 64 KiB limit coincided with
+        ``_MAX_HEAD`` — which made the size check in ``_read_head``
+        unreachable and surfaced oversized heads as unhandled
+        ``LimitOverrunError`` instead of a 431 response.
+        """
         self._server = await asyncio.start_server(self._handle, self.host,
-                                                  self.port)
+                                                  self.port, limit=_MAX_BODY)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:
@@ -124,7 +131,14 @@ class ReproServer:
 
     async def _read_head(self, reader: asyncio.StreamReader):
         """The request line and headers, minimally validated."""
-        head = await reader.readuntil(b"\r\n\r\n")
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.LimitOverrunError, ValueError):
+            # The head outgrew the stream limit before its terminator
+            # arrived; an unhandled overrun would tear the connection
+            # down with no response at all.
+            raise _HttpError(431, "Request Header Fields Too Large",
+                             "request head too large")
         if len(head) > _MAX_HEAD:
             raise _HttpError(431, "Request Header Fields Too Large",
                              "request head too large")
@@ -178,13 +192,24 @@ class ReproServer:
 
     @staticmethod
     def _not_modified(headers: Dict[str, str], etag: str) -> bool:
-        """Does the request's ``If-None-Match`` match this ETag?"""
+        """Does the request's ``If-None-Match`` match this ETag?
+
+        RFC 9110 §13.1.2 mandates *weak* comparison for If-None-Match:
+        ``W/"x"`` and ``"x"`` match.  Proxies legitimately weaken tags
+        they forward, so comparing with the ``W/`` prefix attached
+        would silently disable 304s behind such a proxy.
+        """
         candidates = headers.get("if-none-match", "")
         if not candidates:
             return False
         if candidates.strip() == "*":
             return True
-        return etag in [c.strip() for c in candidates.split(",")]
+
+        def opaque(tag: str) -> str:
+            return tag[2:] if tag.startswith("W/") else tag
+
+        return opaque(etag) in [opaque(c.strip())
+                                for c in candidates.split(",")]
 
     async def _route(self, method: str, path: str, headers: Dict[str, str],
                      body: bytes) -> Tuple[int, str, bytes, str,
@@ -266,11 +291,17 @@ class ReproServer:
             raise _HttpError(400, "Bad Request",
                              'body must be {"name": "<bench name>", ...}')
         name = request["name"]
-        full = bool(request.get("full", False))
+        full = request.get("full", False)
+        if not isinstance(full, bool):
+            # bool() of a truthy non-bool would silently run the wrong
+            # grid scale; name the bad field at the route instead.
+            raise _HttpError(400, "Bad Request", "full must be a boolean")
         n_trials = request.get("n_trials")
         if n_trials is not None and (isinstance(n_trials, bool)
-                                     or not isinstance(n_trials, int)):
-            raise _HttpError(400, "Bad Request", "n_trials must be an int")
+                                     or not isinstance(n_trials, int)
+                                     or n_trials <= 0):
+            raise _HttpError(400, "Bad Request",
+                             "n_trials must be a positive integer")
         executor = request.get("executor", "serial")
         if executor not in ("serial", "thread", "process", "fleet"):
             raise _HttpError(400, "Bad Request",

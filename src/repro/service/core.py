@@ -41,7 +41,7 @@ from ..evaluation import (
 from ..evaluation.scenarios import point_fingerprint
 from ..exceptions import ResultsError
 from ..experiments import bench, bench_names, bench_recorder
-from ..fleet import FleetExecutor, FleetOptions, FleetStats
+from ..fleet import FleetOptions, FleetStats, create_fleet_executor
 from ..experiments.catalog import BenchDef, claimed_digests
 from ..results import (
     ResultsStore,
@@ -200,7 +200,10 @@ class ServiceCore:
         recorder = bench_recorder(definition, executor=label, full=full)
         # One fleet instance spans every panel of the run, so its
         # counters and dead letters describe exactly this record.
-        runner = FleetExecutor(self.fleet) if executor == "fleet" else None
+        # ``fleet.broker`` picks the transport: the in-process
+        # simulation, or the networked coordinator over a socket broker.
+        runner = (create_fleet_executor(self.fleet)
+                  if executor == "fleet" else None)
         blocks, panels = [], []
         for panel, panel_executor in zip(definition.panels, resolved):
             series = panel.run(executor=runner if runner is not None
@@ -227,7 +230,8 @@ class ServiceCore:
                                result_stem=spec.name, executor=executor,
                                full=False)
         cells, on_cell = cell_capture()
-        runner = FleetExecutor(self.fleet) if executor == "fleet" else None
+        runner = (create_fleet_executor(self.fleet)
+                  if executor == "fleet" else None)
         result = spec.run(executor=runner if runner is not None else executor,
                           cache=self.cache, n_trials=n_trials,
                           max_workers=max_workers, flight=self.flight,

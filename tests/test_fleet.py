@@ -300,6 +300,65 @@ class TestBrokerProtocol:
         with pytest.raises(ValueError):
             InProcessBroker(max_attempts=0)
 
+    def test_lease_owner_index_is_pruned_once_tasks_resolve(self):
+        """Regression: a long-lived broker must not leak one lease-index
+        entry per lease forever (exactly what the networked tier, whose
+        broker outlives every run, would hit)."""
+        broker = self._broker(max_attempts=2)
+        # "a": completes on its second attempt after one expiry.
+        broker.enqueue("a")
+        broker.lease(now=0.0)
+        broker.expire(now=5.0)
+        retry = broker.lease(now=broker.next_eligible())
+        assert broker.complete(retry.lease_id, now=20.0) == "completed"
+        # "b": exhausts its retries into a dead letter.
+        broker.enqueue("b")
+        now = 20.0
+        for _ in range(2):
+            broker.lease(now)
+            broker.expire(now + 5.0)
+            eligible = broker.next_eligible()
+            now = eligible if eligible is not None else now + 5.0
+        assert broker.state("a") == DONE and broker.state("b") == DEAD
+        assert broker.outstanding() == 0
+        # Four leases were issued; none may linger in the index.
+        assert broker._lease_owner == {}
+
+    def test_straggler_completion_after_prune_is_a_duplicate(self):
+        """A pruned (but once-issued) lease id is absorbed, not an error;
+        a never-issued id is still a loud caller bug."""
+        broker = self._broker()
+        broker.enqueue("a")
+        first = broker.lease(now=0.0)
+        broker.expire(now=5.0)
+        second = broker.lease(now=broker.next_eligible())
+        assert broker.complete(second.lease_id, now=20.0) == "completed"
+        # The index was pruned at completion; the straggler's id is gone
+        # but must still be absorbed idempotently.
+        assert broker.complete(first.lease_id, now=21.0) == "duplicate"
+        assert broker.fail(first.lease_id, now=21.0) == "ignored"
+        assert broker.heartbeat(first.lease_id, now=21.0) is False
+        assert broker.counters["duplicates"] == 1
+        with pytest.raises(KeyError):
+            broker.complete(999, now=22.0)
+        with pytest.raises(KeyError):
+            broker.fail(999, now=22.0)
+
+    def test_completion_values_ship_through_the_broker(self):
+        """The networked channel home: first completion pins the values,
+        duplicates never overwrite them."""
+        broker = self._broker()
+        broker.enqueue("a")
+        lease = broker.lease(now=0.0)
+        assert broker.result("a") is None
+        twin = broker.duplicate_lease("a", now=0.5)
+        assert broker.complete(lease.lease_id, now=1.0,
+                               values=[1.0, 2.0], elapsed=0.25) == "completed"
+        assert broker.result("a") == ([1.0, 2.0], 0.25)
+        assert broker.complete(twin.lease_id, now=2.0,
+                               values=[9.0, 9.0], elapsed=9.0) == "duplicate"
+        assert broker.result("a") == ([1.0, 2.0], 0.25)
+
 
 class TestFleetStats:
     def test_merge_accumulates_every_counter(self):

@@ -1,0 +1,373 @@
+"""The networked fleet: wire protocol, socket contract parity, workers.
+
+The tentpole guarantee under test: moving the broker behind a TCP
+socket and the workers into their own loops changes *nothing* about the
+values — a grid computed by real leased workers over the wire is
+bit-identical to a serial run, under worker kills, dropped completions,
+dropped client connections, and duplicated deliveries, because the
+transport only moves digest-addressed jobs and idempotent completions.
+
+Three layers, cheapest first: pure protocol round-trips, the
+:class:`~repro.fleet.net.SocketBroker` satisfying the broker method
+contract verbatim against a live :class:`~repro.fleet.net.BrokerServer`
+(same assertions the in-process broker passes, explicit ``now``
+preserved), and whole-fleet runs — the unchanged simulated
+:class:`~repro.fleet.FleetExecutor` driving a *networked* broker via
+``broker_factory``, and the :class:`~repro.fleet.net.RemoteFleetExecutor`
+coordinating real :class:`~repro.fleet.net.FleetWorker` loops on
+threads.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.evaluation import run_grid
+from repro.evaluation.scenarios import point_fingerprint
+from repro.evaluation import build_jobs
+from repro.fleet import (
+    DEAD,
+    DONE,
+    BackoffPolicy,
+    FaultSchedule,
+    FleetError,
+    FleetExecutor,
+    FleetOptions,
+    create_fleet_executor,
+)
+from repro.fleet.net import (
+    BrokerServer,
+    FleetWorker,
+    RemoteFleetExecutor,
+    SocketBroker,
+    protocol,
+)
+
+def _fleet_point(series, x, rng):
+    """A module-level grid point: deterministic given the job's rng."""
+    return float(series) * float(x) + float(rng.normal())
+
+
+X_VALUES = [1, 2, 3]
+SERIES_VALUES = [10, 20]
+N_TRIALS = 3
+GRID_SEED = 11
+
+#: Wall-clock-fast lease policy for the real-worker tests: a killed
+#: worker's lease expires in half a second, retries release almost
+#: immediately, and the whole chaos run stays under a few seconds.
+FAST = dict(lease_timeout=0.5, max_attempts=3,
+            backoff=BackoffPolicy(base=0.05, cap=0.2))
+
+
+def _grid_digests():
+    """Cell digests exactly as ``run_grid`` derives them (code token in)."""
+    jobs = build_jobs("x", X_VALUES, "series", SERIES_VALUES,
+                      n_trials=N_TRIALS, seed=GRID_SEED,
+                      code_token=point_fingerprint(_fleet_point))
+    return [job.digest for job in jobs]
+
+
+def _run(executor):
+    """The acceptance grid through any executor."""
+    return run_grid(_fleet_point, "x", X_VALUES, "series", SERIES_VALUES,
+                    n_trials=N_TRIALS, seed=GRID_SEED, executor=executor)
+
+
+@pytest.fixture()
+def server():
+    """A live broker server on an ephemeral port."""
+    with BrokerServer(lease_timeout=5.0, max_attempts=3) as live:
+        yield live
+
+
+class TestProtocol:
+    def test_payload_round_trip(self):
+        payload = ("point", {"nested": [1.5, None]})
+        assert protocol.decode_payload(
+            protocol.encode_payload(payload)) == payload
+        assert protocol.encode_payload(None) is None
+        assert protocol.decode_payload(None) is None
+
+    def test_result_round_trip(self):
+        assert protocol.result_from_wire(
+            protocol.result_to_wire(([1.0, 2.0], 0.25))) == ([1.0, 2.0], 0.25)
+        assert protocol.result_to_wire(None) is None
+        assert protocol.result_from_wire(None) is None
+
+    def test_parse_address(self):
+        assert protocol.parse_address("127.0.0.1:8421") == ("127.0.0.1", 8421)
+        for bad in ("nocolon", ":9", "host:notaport", "host:70000"):
+            with pytest.raises(ValueError):
+                protocol.parse_address(bad)
+
+    def test_remote_keyerror_is_reraised_as_keyerror(self):
+        with pytest.raises(KeyError):
+            protocol.raise_remote("KeyError", "'unknown lease id 7'")
+        with pytest.raises(ValueError):
+            protocol.raise_remote("ValueError", "nope")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.raise_remote("RuntimeError", "anything else")
+
+
+class TestSocketContractParity:
+    """The broker method contract, verbatim, over the wire."""
+
+    def test_lease_lifecycle_with_explicit_now(self, server):
+        broker = SocketBroker(server.address)
+        assert broker.lease_timeout == 5.0 and broker.max_attempts == 3
+        assert broker.enqueue("k1", ("point", "job")) is True
+        assert broker.enqueue("k1") is False  # idempotent by key
+        lease = broker.lease(now=100.0)
+        assert lease.key == "k1" and lease.attempt == 0
+        assert lease.deadline == 105.0
+        assert lease.payload == ("point", "job")
+        assert broker.lease(now=100.0) is None  # nothing else queued
+        assert broker.heartbeat(lease.lease_id, now=104.0) is True
+        # The heartbeat extended the deadline: 104 + 5 = 109.
+        assert broker.expire(now=108.0) == []
+        assert broker.complete(lease.lease_id, now=108.5,
+                               values=[1.0, 2.0, 3.0],
+                               elapsed=0.125) == "completed"
+        assert broker.state("k1") == DONE
+        assert broker.result("k1") == ([1.0, 2.0, 3.0], 0.125)
+        assert broker.outstanding() == 0
+        counters = broker.counters
+        assert counters["completed"] == 1 and counters["heartbeats"] == 1
+
+    def test_unknown_lease_id_raises_keyerror_through_the_wire(self, server):
+        broker = SocketBroker(server.address)
+        with pytest.raises(KeyError):
+            broker.complete(999, now=1.0)
+        with pytest.raises(KeyError):
+            broker.fail(999, now=1.0)
+        assert broker.heartbeat(999, now=1.0) is False
+
+    def test_expiry_retry_and_dead_letter_over_the_wire(self, server):
+        broker = SocketBroker(server.address)
+        broker.enqueue("doomed")
+        for attempt in range(3):
+            eligible = broker.next_eligible()
+            now = 1000.0 * (attempt + 1) if eligible is None else \
+                max(eligible, 1000.0 * (attempt + 1))
+            lease = broker.lease(now=now)
+            assert lease is not None and lease.attempt == attempt
+            reaped = broker.expire(now=now + 10.0)
+            assert lease.lease_id in reaped
+        assert broker.state("doomed") == DEAD
+        letters = broker.dead_letters
+        assert len(letters) == 1
+        assert letters[0].key == "doomed" and letters[0].attempts == 3
+        assert broker.counters["dead"] == 1
+
+    def test_duplicate_delivery_over_the_socket(self, server):
+        """Two workers complete one attempt; the loser is absorbed."""
+        broker = SocketBroker(server.address)
+        broker.enqueue("twice")
+        first = broker.lease(now=10.0)
+        twin = broker.duplicate_lease("twice", now=10.0)
+        assert twin is not None and twin.attempt == first.attempt
+        assert twin.lease_id != first.lease_id
+        assert broker.complete(first.lease_id, now=11.0,
+                               values=[7.0]) == "completed"
+        assert broker.complete(twin.lease_id, now=11.5,
+                               values=[7.0]) == "duplicate"
+        counters = broker.counters
+        assert counters["duplicated"] == 1 and counters["duplicates"] == 1
+        # The first completion's values stick.
+        assert broker.result("twice") == ([7.0], None)
+
+    def test_dropped_connection_mid_complete_is_idempotent(self, server):
+        """A client that loses the ack resends; the broker absorbs it."""
+        broker = SocketBroker(server.address)
+        broker.enqueue("flaky")
+        lease = broker.lease(now=1.0)
+        assert broker.complete(lease.lease_id, now=2.0,
+                               values=[5.0]) == "completed"
+        # The ack was "lost": the client reconnects and resends the
+        # exact same completion (what the retry loop in call() does).
+        broker.close()
+        assert broker.complete(lease.lease_id, now=2.5,
+                               values=[5.0]) == "duplicate"
+        counters = broker.counters
+        assert counters["completed"] == 1 and counters["duplicates"] == 1
+        assert broker.result("flaky") == ([5.0], None)
+
+    def test_reset_installs_a_fresh_broker(self, server):
+        stale = SocketBroker(server.address)
+        stale.enqueue("old")
+        fresh = SocketBroker(server.address, lease_timeout=2.0,
+                             max_attempts=5, reset=True)
+        assert fresh.lease_timeout == 2.0 and fresh.max_attempts == 5
+        assert fresh.counters["enqueued"] == 0
+        with pytest.raises(KeyError):
+            fresh.state("old")
+
+
+class TestSimulatedFleetOverTheSocket:
+    """The unchanged FleetExecutor driving a networked broker."""
+
+    def test_grid_is_bit_identical_to_serial(self, server):
+        serial = _run("serial")
+        fleet = FleetExecutor(
+            FleetOptions(n_workers=3),
+            broker_factory=lambda **kw: SocketBroker(server.address,
+                                                     reset=True, **kw))
+        assert _run(fleet) == serial
+        assert fleet.stats.completed == len(_grid_digests())
+
+    def test_chaos_schedule_is_bit_identical_to_serial(self, server):
+        digests = _grid_digests()
+        faults = FaultSchedule(kill={(digests[0], 0)},
+                               drop={(digests[1], 0)},
+                               duplicate={digests[2]})
+        fleet = FleetExecutor(
+            FleetOptions(n_workers=3, faults=faults),
+            broker_factory=lambda **kw: SocketBroker(server.address,
+                                                     reset=True, **kw))
+        assert _run(fleet) == _run("serial")
+        assert fleet.stats.killed == 1 and fleet.stats.dropped == 1
+        assert fleet.stats.duplicated == 1
+        assert fleet.stats.retried >= 2
+
+
+def _spawn_workers(server, n, **kwargs):
+    """Start ``n`` worker loops on daemon threads against ``server``."""
+    workers, threads = [], []
+    for index in range(n):
+        worker = FleetWorker(SocketBroker(server.address),
+                             poll_interval=0.02,
+                             label=f"w{index}", **kwargs)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        workers.append(worker)
+        threads.append(thread)
+        thread.start()
+    return workers, threads
+
+
+def _reap_workers(workers, threads):
+    """Stop every worker loop and join its thread."""
+    for worker in workers:
+        worker.stop()
+    for thread in threads:
+        thread.join(timeout=10.0)
+
+
+class TestRealWorkers:
+    """RemoteFleetExecutor + FleetWorker loops on wall clock."""
+
+    def test_networked_grid_is_bit_identical_to_serial(self, server):
+        serial = _run("serial")
+        remote = RemoteFleetExecutor(FleetOptions(
+            broker=server.address, poll_interval=0.02, run_timeout=60.0,
+            **FAST))
+        workers, threads = _spawn_workers(server, 2)
+        try:
+            assert _run(remote) == serial
+        finally:
+            _reap_workers(workers, threads)
+        assert remote.stats.completed == len(_grid_digests())
+        assert remote.stats.dead == 0
+        assert sum(w.leased for w in workers) == len(_grid_digests())
+
+    def test_worker_killed_mid_lease_retries_elsewhere(self, server):
+        """A worker dies holding a lease; the survivor finishes the grid."""
+        digests = _grid_digests()
+        serial = _run("serial")
+        # The doomed worker dies on the first attempt of one known
+        # cell; its twin carries no fault schedule and survives.
+        doomed_faults = FaultSchedule(kill={(digests[0], 0)})
+        died = []
+        doomed = FleetWorker(SocketBroker(server.address),
+                             poll_interval=0.02, label="doomed",
+                             faults=doomed_faults,
+                             on_kill=lambda: died.append(True))
+        healthy = FleetWorker(SocketBroker(server.address),
+                              poll_interval=0.02, label="healthy")
+        threads = [threading.Thread(target=w.run, daemon=True)
+                   for w in (doomed, healthy)]
+        remote = RemoteFleetExecutor(FleetOptions(
+            broker=server.address, poll_interval=0.02, run_timeout=60.0,
+            **FAST))
+        result_box = {}
+
+        def coordinate():
+            result_box["run"] = _run(remote)
+
+        coordinator = threading.Thread(target=coordinate, daemon=True)
+        try:
+            # Start the doomed worker first so it leases digests[0]
+            # (lease order is queue order) and dies; only then bring up
+            # the survivor, which inherits the retry.
+            threads[0].start()
+            coordinator.start()
+            while not died and coordinator.is_alive():
+                time.sleep(0.01)
+            threads[1].start()
+            coordinator.join(timeout=60.0)
+            assert not coordinator.is_alive(), "networked run did not settle"
+            assert result_box["run"] == serial
+        finally:
+            _reap_workers([doomed, healthy], threads)
+        assert died == [True]
+        assert remote.stats.expired >= 1
+        assert remote.stats.retried >= 1
+        assert remote.stats.dead == 0
+
+    def test_dropped_completion_is_retried_and_visible(self, server):
+        digests = _grid_digests()
+        serial = _run("serial")
+        faults = FaultSchedule(drop={(digests[1], 0)})
+        workers, threads = _spawn_workers(server, 2, faults=faults)
+        remote = RemoteFleetExecutor(FleetOptions(
+            broker=server.address, poll_interval=0.02, run_timeout=60.0,
+            **FAST))
+        try:
+            assert _run(remote) == serial
+        finally:
+            _reap_workers(workers, threads)
+        assert sum(w.dropped for w in workers) == 1
+        assert remote.stats.expired >= 1
+        assert remote.stats.retried >= 1
+
+    def test_worker_local_cache_completes_without_recompute(
+            self, server, tmp_path):
+        from repro.evaluation import ResultCache
+        serial = _run("serial")
+        cache = ResultCache(tmp_path / "cells")
+        workers, threads = _spawn_workers(server, 1, cache=cache)
+        remote = RemoteFleetExecutor(FleetOptions(
+            broker=server.address, poll_interval=0.02, run_timeout=60.0,
+            **FAST))
+        try:
+            assert _run(remote) == serial      # cold: computes + fills
+            assert _run(remote) == serial      # warm: all cache hits
+        finally:
+            _reap_workers(workers, threads)
+        assert workers[0].cache_hits == len(_grid_digests())
+
+    def test_settle_timeout_without_workers_raises(self, server):
+        remote = RemoteFleetExecutor(FleetOptions(
+            broker=server.address, poll_interval=0.02, run_timeout=0.3))
+        with pytest.raises(FleetError, match="did not settle"):
+            _run(remote)
+
+
+class TestFactoryWiring:
+    def test_options_without_broker_build_the_simulation(self):
+        assert isinstance(create_fleet_executor(FleetOptions()),
+                          FleetExecutor)
+
+    def test_options_with_broker_build_the_remote_coordinator(self):
+        executor = create_fleet_executor(
+            FleetOptions(broker="127.0.0.1:9"))
+        assert isinstance(executor, RemoteFleetExecutor)
+
+    def test_malformed_broker_address_fails_at_option_construction(self):
+        with pytest.raises(ValueError):
+            FleetOptions(broker="no-port-here")
+
+    def test_remote_executor_requires_a_broker(self):
+        with pytest.raises(ValueError):
+            RemoteFleetExecutor(FleetOptions())

@@ -138,3 +138,81 @@ class TestComputeEndpoint:
             f"{base}/cells/{digest}",
             headers={"If-None-Match": headers["etag"]})
         assert status == 304 and cell_body == b""
+
+
+class TestHeadLimits:
+    def test_oversized_head_is_431_not_a_dropped_connection(self, served):
+        # Between _MAX_HEAD (64 KiB) and the stream limit (1 MiB): the
+        # head reads fine and the explicit size check must reject it.
+        # Before the limit was raised this branch was unreachable —
+        # asyncio's default 64 KiB stream limit fired first.
+        _, base = served
+        status, _, body = _request(f"{base}/catalog",
+                                   headers={"X-Pad": "x" * (80 * 1024)})
+        assert status == 431
+        assert b"head too large" in body
+
+    def test_head_overrunning_the_stream_limit_is_431(self, served):
+        # Past the 1 MiB stream limit readuntil raises LimitOverrunError
+        # mid-head; the server must still answer 431 instead of letting
+        # the exception tear the connection down with no response.
+        _, base = served
+        status, _, body = _request(f"{base}/catalog",
+                                   headers={"X-Pad": "x" * (2 * 1024 * 1024)})
+        assert status == 431
+        assert b"head too large" in body
+
+
+class TestWeakEtagComparison:
+    def test_weak_if_none_match_hits_304(self, served):
+        # RFC 9110 13.1.2: If-None-Match uses weak comparison, so a
+        # proxy-weakened W/"tag" must still validate against our strong
+        # ETag.
+        _, base = served
+        _, headers, _ = _request(f"{base}/records/fig05")
+        etag = headers["etag"]
+        status, _, body = _request(
+            f"{base}/records/fig05",
+            headers={"If-None-Match": f"W/{etag}"})
+        assert status == 304 and body == b""
+
+    def test_weak_tag_in_a_list_of_candidates(self, served):
+        _, base = served
+        _, headers, _ = _request(f"{base}/records/fig05")
+        etag = headers["etag"]
+        status, _, _ = _request(
+            f"{base}/records/fig05",
+            headers={"If-None-Match": f'"miss", W/{etag}'})
+        assert status == 304
+
+    def test_non_matching_weak_tag_still_misses(self, served):
+        _, base = served
+        status, _, _ = _request(
+            f"{base}/records/fig05",
+            headers={"If-None-Match": 'W/"something-else"'})
+        assert status == 200
+
+
+class TestRunValidation:
+    def test_non_positive_n_trials_is_400_naming_the_field(self, served):
+        _, base = served
+        for bad in (0, -3):
+            status, _, body = _request(
+                f"{base}/run", method="POST",
+                body=json.dumps({"name": CHEAP_BENCH,
+                                 "n_trials": bad}).encode())
+            assert status == 400, body
+            assert b"n_trials must be a positive integer" in body
+
+    def test_non_bool_full_is_400_naming_the_field(self, served):
+        # bool("yes") is True: without route validation a string "full"
+        # silently selects the paper-scale grid and 500s much later (or
+        # worse, computes for hours).
+        _, base = served
+        for bad in ("yes", 1, [True]):
+            status, _, body = _request(
+                f"{base}/run", method="POST",
+                body=json.dumps({"name": CHEAP_BENCH,
+                                 "full": bad}).encode())
+            assert status == 400, body
+            assert b"full must be a boolean" in body
