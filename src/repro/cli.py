@@ -48,7 +48,11 @@ Subcommands
     from it, compute through the unchanged engine job path, and
     complete with bit-identical values.  ``python -m repro run <bench>
     --executor fleet --broker HOST:PORT`` coordinates a run across
-    them.
+    them.  ``broker --journal PATH`` (or ``$REPRO_FLEET_JOURNAL``)
+    write-ahead logs every broker mutation so a killed broker restarts
+    into the exact pre-crash state and the in-flight run resumes;
+    coordinators and workers ride out the downtime by reconnecting
+    under seeded backoff.
 
 ``cache stats`` / ``cache prune``
     Inspect or garbage-collect a cell cache directory: ``prune``
@@ -198,7 +202,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "broker", add_help=False,
-        help="serve a fleet broker over TCP (python -m repro broker --help)")
+        help="serve a fleet broker over TCP, crash-safe with --journal "
+             "(python -m repro broker --help)")
     sub.add_parser(
         "fleet-worker", add_help=False,
         help="lease and compute fleet cells from a socket broker "
@@ -242,9 +247,16 @@ def _print_fleet_stats(core: ServiceCore) -> None:
     """One machine-greppable line: what the work-queue fleet did this run."""
     stats = core.fleet_stats
     if stats.active():
+        recovery = ""
+        if stats.reconnects or stats.replayed:
+            # Only fleet runs that actually rode out broker downtime
+            # grow the line — healthy runs stay byte-stable.
+            recovery = (f" reconnects={stats.reconnects} "
+                        f"replayed={stats.replayed}")
         print(f"[fleet] leased={stats.leased} completed={stats.completed} "
               f"retried={stats.retried} dead={stats.dead} "
-              f"duplicates={stats.duplicates} expired={stats.expired}")
+              f"duplicates={stats.duplicates} expired={stats.expired}"
+              f"{recovery}")
 
 
 def _fleet_options(args: argparse.Namespace) -> FleetOptions:

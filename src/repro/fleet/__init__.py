@@ -6,13 +6,25 @@ them.  Lost workers, lost completions, and duplicated deliveries are
 absorbed by protocol — lease expiry, capped-exponential requeue,
 bounded retries, dead letters, idempotent completion — and the whole
 machine runs on a virtual clock with a seeded fault schedule, so every
-failure mode is exercised deterministically in tier-1 tests.  See
-``docs/engine.md`` ("Fleet executor") for the protocol and state
-diagram.
+failure mode is exercised deterministically in tier-1 tests.  Broker
+death itself is recoverable through the write-ahead
+:class:`~repro.fleet.journal.Journal`: every mutation is logged before
+it is applied and :func:`~repro.fleet.journal.replay_journal` rebuilds
+the broker bit-for-bit on restart.  See ``docs/engine.md`` ("Fleet
+executor") for the protocol and state diagram.
 """
 
 from .backoff import BackoffPolicy
-from .broker import DEAD, DONE, LEASED, QUEUED, DeadLetter, InProcessBroker, Lease
+from .broker import (
+    DEAD,
+    DONE,
+    LEASED,
+    QUEUED,
+    BrokerBusyError,
+    DeadLetter,
+    InProcessBroker,
+    Lease,
+)
 from .clock import ManualClock, MonotonicClock
 from .executor import (
     FleetError,
@@ -22,9 +34,11 @@ from .executor import (
     create_fleet_executor,
 )
 from .faults import FaultSchedule
+from .journal import Journal, JournalError, read_journal, replay_journal
 
 __all__ = [
     "BackoffPolicy",
+    "BrokerBusyError",
     "DEAD",
     "DONE",
     "DeadLetter",
@@ -34,10 +48,14 @@ __all__ = [
     "FleetOptions",
     "FleetStats",
     "InProcessBroker",
+    "Journal",
+    "JournalError",
     "LEASED",
     "Lease",
     "ManualClock",
     "MonotonicClock",
     "QUEUED",
     "create_fleet_executor",
+    "read_journal",
+    "replay_journal",
 ]

@@ -34,13 +34,23 @@ Anything satisfying this method contract (enqueue/lease/heartbeat/
 complete/fail/expire plus ``outstanding``/``dead_letters``/``counters``)
 can replace :class:`InProcessBroker` — a redis- or ray-backed broker
 slots in behind the same :class:`~repro.fleet.executor.FleetExecutor`.
+
+Crash safety is opt-in: pass a :class:`~repro.fleet.journal.Journal`
+and every successful mutation is appended to the write-ahead log
+*before* it is applied, so :func:`~repro.fleet.journal.replay_journal`
+rebuilds the exact broker state after a crash.  Only mutations are
+journalled — a no-op call (an empty-queue ``lease``, a duplicate
+``enqueue``, a dead-lease ``heartbeat``) and a raising call (an
+unknown lease id) leave no record, which is what keeps replay from
+re-raising or double-counting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..exceptions import ReproError
 from .backoff import BackoffPolicy
 
 #: Task states.
@@ -48,6 +58,12 @@ QUEUED = "queued"
 LEASED = "leased"
 DONE = "done"
 DEAD = "dead"
+
+
+class BrokerBusyError(ReproError, RuntimeError):
+    """A ``reset`` was refused: leases are outstanding, so a fresh
+    broker would silently discard another coordinator's in-flight run.
+    Pass ``force=True`` to discard it anyway."""
 
 
 @dataclass(frozen=True)
@@ -106,7 +122,7 @@ class InProcessBroker:
     """
 
     def __init__(self, *, lease_timeout: float = 5.0, max_attempts: int = 3,
-                 backoff: Optional[BackoffPolicy] = None):
+                 backoff: Optional[BackoffPolicy] = None, journal=None):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
         if max_attempts < 1:
@@ -114,6 +130,15 @@ class InProcessBroker:
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
         self.backoff = backoff if backoff is not None else BackoffPolicy()
+        #: Optional write-ahead log (:class:`~repro.fleet.journal.Journal`
+        #: or anything with ``append(op, args)``); assignable after
+        #: construction, which is how a replayed broker resumes logging.
+        self.journal = journal
+        #: Mutations re-applied from a journal to build this broker
+        #: (set by :func:`~repro.fleet.journal.replay_journal`).  Kept
+        #: out of :attr:`counters` deliberately: the counters must
+        #: equal the pre-crash broker's for replay to be bit-for-bit.
+        self.replayed = 0
         self._tasks: Dict[str, _Task] = {}
         self._order: List[str] = []
         self._lease_owner: Dict[int, str] = {}
@@ -125,12 +150,18 @@ class InProcessBroker:
             "retried": 0, "dead": 0,
         }
 
+    def _record(self, op: str, **args: object) -> None:
+        """Write-ahead hook: log one mutation before applying it."""
+        if self.journal is not None:
+            self.journal.append(op, args)
+
     # -- producing -----------------------------------------------------------
 
     def enqueue(self, key: str, payload: object = None) -> bool:
         """Add a task; a key already known is idempotently ignored."""
         if key in self._tasks:
             return False
+        self._record("enqueue", key=key, payload=payload)
         self._tasks[key] = _Task(key=key, payload=payload)
         self._order.append(key)
         self.counters["enqueued"] += 1
@@ -149,6 +180,9 @@ class InProcessBroker:
         for key in self._order:
             task = self._tasks[key]
             if task.state == QUEUED and task.not_before <= now:
+                # The FIFO scan is a pure function of broker state, so
+                # journalling just ``now`` replays the same delivery.
+                self._record("lease", now=now)
                 task.state = LEASED
                 task.attempts += 1
                 return self._deliver(task, now, task.attempts - 1, "leased")
@@ -166,6 +200,7 @@ class InProcessBroker:
         task = self._tasks.get(key)
         if task is None or task.state != LEASED:
             return None
+        self._record("duplicate_lease", key=key, now=now)
         return self._deliver(task, now, task.attempts - 1, "duplicated")
 
     def _deliver(self, task: _Task, now: float, attempt: int,
@@ -194,6 +229,7 @@ class InProcessBroker:
         task = self._tasks[key]
         if lease_id not in task.leases:
             return False
+        self._record("heartbeat", lease_id=lease_id, now=now)
         task.leases[lease_id] = now + self.lease_timeout
         self.counters["heartbeats"] += 1
         return True
@@ -240,6 +276,11 @@ class InProcessBroker:
           or an even later straggler).  Counted and ignored.
         """
         key = self._resolve_owner(lease_id)
+        # Even an absorbed duplicate mutates a counter, so every
+        # non-raising completion is journalled.
+        self._record("complete", lease_id=lease_id, now=now,
+                     values=None if values is None
+                     else [float(v) for v in values], elapsed=elapsed)
         if key is None:
             # A straggler for a task that already resolved and had its
             # lease ids pruned: absorb it like any other duplicate.
@@ -274,6 +315,7 @@ class InProcessBroker:
         key = self._resolve_owner(lease_id)
         if key is None:
             return "ignored"
+        self._record("fail", lease_id=lease_id, now=now, reason=reason)
         task = self._tasks[key]
         task.leases.pop(lease_id, None)
         if task.state != LEASED:
@@ -289,6 +331,13 @@ class InProcessBroker:
         backoff hold) or dead-lettered.  Leases left dangling on DONE
         tasks are simply dropped.
         """
+        if self.journal is not None and any(
+                deadline <= now
+                for task in self._tasks.values()
+                for deadline in task.leases.values()):
+            # Pre-scan instead of recording per-reap: one journal record
+            # replays the whole sweep, and a no-op sweep leaves none.
+            self._record("expire", now=now)
         reaped: List[int] = []
         for key in self._order:
             task = self._tasks[key]
@@ -339,6 +388,49 @@ class InProcessBroker:
         """How many tasks are not yet DONE or DEAD."""
         return sum(1 for t in self._tasks.values()
                    if t.state in (QUEUED, LEASED))
+
+    def active_leases(self) -> int:
+        """How many live leases workers currently hold.
+
+        Non-zero means some coordinator's run is in flight — the signal
+        ``reset`` uses to refuse discarding it without ``force``.
+        """
+        return sum(len(t.leases) for t in self._tasks.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """The complete observable state, as comparable plain data.
+
+        Two brokers are in identical states iff their snapshots are
+        equal — the property the journal replay tests assert.  Payloads
+        are excluded (they are opaque caller objects whose equality is
+        not the broker's to define); everything else is covered: config,
+        per-task lifecycle, lease ids and deadlines, queue order, the
+        lease index, counters, and dead letters.
+        """
+        return {
+            "config": {
+                "lease_timeout": self.lease_timeout,
+                "max_attempts": self.max_attempts,
+                "backoff": asdict(self.backoff),
+            },
+            "tasks": {
+                key: {
+                    "state": task.state,
+                    "attempts": task.attempts,
+                    "not_before": task.not_before,
+                    "leases": dict(task.leases),
+                    "history": list(task.history),
+                    "result": task.result,
+                }
+                for key, task in self._tasks.items()
+            },
+            "order": list(self._order),
+            "lease_owner": dict(self._lease_owner),
+            "next_lease": self._next_lease,
+            "counters": dict(self.counters),
+            "dead_letters": [(letter.key, letter.attempts, letter.reason)
+                             for letter in self.dead_letters],
+        }
 
     def next_eligible(self) -> Optional[float]:
         """The earliest ``not_before`` among queued tasks, or ``None``.

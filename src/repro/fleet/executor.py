@@ -80,6 +80,14 @@ class FleetOptions:
     #: sweeps) and per-``run`` wall-clock budget.
     poll_interval: float = 0.2
     run_timeout: float = 600.0
+    #: How long one remote broker call rides out unreachability
+    #: (reconnecting under seeded backoff) before surfacing
+    #: ``ConnectionError`` — the window a journalled broker has to
+    #: restart unnoticed.
+    reconnect_timeout: float = 30.0
+    #: Discard another coordinator's in-flight run on ``reset`` instead
+    #: of failing with ``BrokerBusyError``.
+    force_reset: bool = False
 
     def __post_init__(self):
         """Validate pool and timing parameters."""
@@ -98,6 +106,9 @@ class FleetOptions:
                              f"'raise', got {self.dead_letter_policy!r}")
         if self.poll_interval <= 0 or self.run_timeout <= 0:
             raise ValueError("poll_interval and run_timeout must be > 0")
+        if self.reconnect_timeout <= 0:
+            raise ValueError(f"reconnect_timeout must be > 0, "
+                             f"got {self.reconnect_timeout}")
         if self.broker is not None:
             # Validate the HOST:PORT shape eagerly — a typo should fail
             # at option construction, not mid-run inside a socket call.
@@ -113,6 +124,10 @@ class FleetStats:
     counters surfaced by ``/stats`` and ``cache stats --json``; the
     rest pin the fault machinery in tests (a chaos run must show its
     kills and duplicates, or the schedule silently did nothing).
+    ``reconnects`` (client re-connections after I/O loss) and
+    ``replayed`` (journal mutations a restarted broker rebuilt from)
+    are the recovery counters — nonzero means a run rode out broker
+    downtime.
     """
 
     enqueued: int = 0
@@ -127,6 +142,8 @@ class FleetStats:
     dead: int = 0
     killed: int = 0
     dropped: int = 0
+    reconnects: int = 0
+    replayed: int = 0
 
     def merge(self, other: "FleetStats") -> None:
         """Accumulate another stats object into this one."""

@@ -14,6 +14,15 @@ socket: every operation is safe to resend, because the broker protocol
 itself absorbs redelivery — ``enqueue`` is idempotent by key,
 ``complete`` by construction (a resent completion is counted as a
 duplicate and ignored), and ``heartbeat``/``fail``/``expire`` converge.
+
+Reconnection runs under the fleet's seeded
+:class:`~repro.fleet.backoff.BackoffPolicy` with an overall wall-clock
+deadline (``reconnect_timeout``), not a fixed retry count: a broker
+that is SIGKILLed and restarted from its journal within the window is
+indistinguishable from a slow network — the client reconnects, resends,
+and the run resumes.  Only after the deadline does a
+:class:`ConnectionError` surface.  :attr:`SocketBroker.reconnects`
+counts successful re-connections for the stats surfaces.
 """
 
 from __future__ import annotations
@@ -44,29 +53,43 @@ class SocketBroker:
     ``reset=True`` (the coordinator's mode) installs a fresh broker on
     the server configured with this client's ``lease_timeout`` /
     ``max_attempts`` / ``backoff``, so one run's counters and dead
-    letters never bleed into the next.  Workers connect with the
-    defaults and simply adopt whatever policy the server reports via
-    ``ping``.
+    letters never bleed into the next.  The server refuses a reset that
+    would discard an in-flight run (live leases outstanding) with
+    :class:`~repro.fleet.broker.BrokerBusyError`, re-raised here;
+    ``force_reset=True`` overrides.  Workers connect with the defaults
+    and simply adopt whatever policy the server reports via ``ping``.
     """
 
     def __init__(self, address: Union[str, Tuple[str, int]], *,
                  lease_timeout: Optional[float] = None,
                  max_attempts: Optional[int] = None,
                  backoff: Optional[BackoffPolicy] = None,
-                 reset: bool = False, timeout: float = 30.0,
-                 retries: int = 3):
+                 reset: bool = False, force_reset: bool = False,
+                 timeout: float = 30.0,
+                 reconnect: Optional[BackoffPolicy] = None,
+                 reconnect_timeout: float = 30.0):
         if isinstance(address, str):
             address = protocol.parse_address(address)
+        if reconnect_timeout <= 0:
+            raise ValueError(f"reconnect_timeout must be > 0, "
+                             f"got {reconnect_timeout}")
         self.address = address
         self.timeout = float(timeout)
-        self.retries = int(retries)
+        self.reconnect = (reconnect if reconnect is not None
+                          else BackoffPolicy(base=0.05, factor=2.0,
+                                             cap=1.0, jitter=0.1))
+        self.reconnect_timeout = float(reconnect_timeout)
+        #: Successful re-connections after the first (stats surface it).
+        self.reconnects = 0
+        self._connected_once = False
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
         self._wire = None
         if reset:
             self.call("reset", lease_timeout=lease_timeout,
                       max_attempts=max_attempts,
-                      backoff=_backoff_to_args(backoff))
+                      backoff=_backoff_to_args(backoff),
+                      force=True if force_reset else None)
         info = self.call("ping")
         if info["protocol"] != protocol.PROTOCOL_VERSION:
             raise protocol.ProtocolError(
@@ -83,6 +106,9 @@ class SocketBroker:
         self._sock = socket.create_connection(self.address,
                                               timeout=self.timeout)
         self._wire = self._sock.makefile("rwb")
+        if self._connected_once:
+            self.reconnects += 1
+        self._connected_once = True
 
     def _disconnect(self) -> None:
         """Drop the current connection, tolerating a half-dead socket."""
@@ -115,12 +141,17 @@ class SocketBroker:
         protocol absorbs every redelivery (idempotent enqueue/complete,
         convergent heartbeat/fail/expire), which is the same property
         that makes real at-least-once transports usable behind it.
+        Retries run under the seeded :attr:`reconnect` backoff until
+        :attr:`reconnect_timeout` wall-clock seconds have passed, then
+        raise :class:`ConnectionError` — long enough to ride out a
+        broker restarting from its journal.
         """
         payload = {"op": op, "args": {k: v for k, v in args.items()
                                       if v is not None}}
         with self._lock:
-            last_error: Optional[Exception] = None
-            for attempt in range(self.retries + 1):
+            deadline = time.monotonic() + self.reconnect_timeout
+            attempt = 0
+            while True:
                 try:
                     if self._wire is None:
                         self._connect()
@@ -130,14 +161,18 @@ class SocketBroker:
                         raise ConnectionError("broker closed the connection")
                     break
                 except (OSError, ConnectionError) as exc:
-                    last_error = exc
                     self._disconnect()
-                    if attempt >= self.retries:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
                         raise ConnectionError(
                             f"broker at {self.address[0]}:{self.address[1]} "
-                            f"unreachable after {attempt + 1} attempts: "
-                            f"{last_error}")
-                    time.sleep(min(0.1 * 2 ** attempt, 1.0))
+                            f"unreachable for {self.reconnect_timeout:.1f}s "
+                            f"({attempt + 1} attempts): {exc}")
+                    # Cap the exponent: the jittered delay caps anyway,
+                    # and float ** overflows around 2**1024.
+                    delay = self.reconnect.delay(op, min(attempt, 60))
+                    time.sleep(min(delay, remaining))
+                    attempt += 1
         if response.get("ok"):
             return response.get("result")
         protocol.raise_remote(response.get("kind", "ProtocolError"),

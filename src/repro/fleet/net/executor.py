@@ -63,7 +63,9 @@ class RemoteFleetExecutor:
         opts = self.options
         broker = SocketBroker(opts.broker, lease_timeout=opts.lease_timeout,
                               max_attempts=opts.max_attempts,
-                              backoff=opts.backoff, reset=True)
+                              backoff=opts.backoff, reset=True,
+                              force_reset=opts.force_reset,
+                              reconnect_timeout=opts.reconnect_timeout)
         try:
             return self._run(broker, payloads)
         finally:
@@ -105,13 +107,30 @@ class RemoteFleetExecutor:
         The expire sweep is load-bearing: with every worker dead there
         is nobody else to reap dangling leases, and without reaping a
         crashed fleet would hang the run instead of dead-lettering it.
+
+        Broker downtime degrades the loop instead of killing the run:
+        the client already rides out :attr:`SocketBroker.reconnect_timeout`
+        of unreachability per call, and a :class:`ConnectionError`
+        surfacing past that is absorbed here until the run deadline —
+        a broker restarted from its journal resumes settlement exactly
+        where the last successful poll left it.
         """
         opts = self.options
         deadline = time.time() + opts.run_timeout
         while True:
             now = time.time()
-            broker.expire(now)
-            if broker.outstanding() == 0:
+            try:
+                broker.expire(now)
+                outstanding = broker.outstanding()
+            except (ConnectionError, OSError) as exc:
+                if time.time() >= deadline:
+                    raise FleetError(
+                        f"fleet did not settle {n_cells} cells within "
+                        f"{opts.run_timeout}s: broker at {opts.broker} "
+                        f"unreachable ({exc})")
+                time.sleep(opts.poll_interval)
+                continue
+            if outstanding == 0:
                 return
             if now >= deadline:
                 raise FleetError(
@@ -124,6 +143,7 @@ class RemoteFleetExecutor:
         """Fold one settled remote broker into executor-lifetime stats."""
         for name, value in broker.counters.items():
             setattr(self.stats, name, getattr(self.stats, name) + value)
+        self.stats.reconnects += broker.reconnects
         for letter in broker.dead_letters:
             job = jobs[letter.key]
             self.dead_letters.append({

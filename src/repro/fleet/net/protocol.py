@@ -11,9 +11,9 @@ embedded newlines — :func:`json.dumps` guarantees that).  Requests are
 ``{"op": <name>, "args": {...}}``; responses are either
 ``{"ok": true, "result": ...}`` or
 ``{"ok": false, "kind": <exception class>, "error": <message>}``.
-The client re-raises ``KeyError``/``ValueError`` kinds locally, so a
-caller cannot tell a remote broker from an in-process one by its
-exceptions.
+The client re-raises ``KeyError``/``ValueError``/``BrokerBusyError``
+kinds locally, so a caller cannot tell a remote broker from an
+in-process one by its exceptions.
 
 Job payloads — the ``(point, job)`` tuples workers execute — are not
 JSON-able, so they travel pickled and base64-wrapped *inside* the JSON.
@@ -26,12 +26,15 @@ wire and land in cells byte-identical to a local run's.
 
 from __future__ import annotations
 
-import base64
 import json
-import pickle
 from typing import BinaryIO, Dict, List, Optional, Tuple
 
-from ..broker import DeadLetter, Lease
+from ..broker import BrokerBusyError, DeadLetter, Lease
+
+# The canonical payload codecs live with the journal (its records embed
+# the same pickled-base64 form the wire uses); re-exported here so the
+# wire tier keeps its historical import path.
+from ..journal import decode_payload, encode_payload  # noqa: F401
 
 #: Bumped on any incompatible wire change; ``ping`` reports it so a
 #: mismatched client can refuse loudly instead of failing strangely.
@@ -39,29 +42,12 @@ PROTOCOL_VERSION = 1
 
 #: Exception kinds the client re-raises as their local class; anything
 #: else surfaces as a :class:`ProtocolError` carrying the remote text.
-_RAISABLE = {"KeyError": KeyError, "ValueError": ValueError}
+_RAISABLE = {"KeyError": KeyError, "ValueError": ValueError,
+             "BrokerBusyError": BrokerBusyError}
 
 
 class ProtocolError(RuntimeError):
     """A malformed frame, an unknown op, or an unmappable remote error."""
-
-
-# ---------------------------------------------------------------------------
-# Payload encoding.
-# ---------------------------------------------------------------------------
-
-def encode_payload(payload: object) -> Optional[str]:
-    """Pickle + base64 a job payload for transport inside JSON."""
-    if payload is None:
-        return None
-    return base64.b64encode(pickle.dumps(payload)).decode("ascii")
-
-
-def decode_payload(text: Optional[str]) -> object:
-    """Invert :func:`encode_payload`; ``None`` stays ``None``."""
-    if text is None:
-        return None
-    return pickle.loads(base64.b64decode(text.encode("ascii")))
 
 
 # ---------------------------------------------------------------------------

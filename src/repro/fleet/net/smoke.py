@@ -19,6 +19,15 @@ processes: an unpinned LRU cache bounded at ``--cache-max-cells 3``
 ends the run holding at most three cells, while the same bound with
 ``--baselines`` pinning keeps every baseline cell on disk.
 
+The broker-crash scenario is the recovery gate: a *journalled* broker
+(``--journal``) is SIGKILLed mid-run — queue populated, leases live,
+completions already dropped — and restarted on the same port from its
+write-ahead journal.  The coordinator and worker ride out the downtime
+by reconnecting, the replayed broker resumes the run exactly where it
+died, and the record must still carry the committed ``run_id`` with
+``repro diff --against-catalog`` exit 0.  The restarted broker is then
+SIGTERMed and must exit 0 (clean shutdown, journal flushed).
+
 The CI ``fleet-net`` job runs this from the repo root and fails on any
 assertion; it exits 0 printing ``[fleet-net] ok``.
 """
@@ -26,11 +35,13 @@ assertion; it exits 0 printing ``[fleet-net] ok``.
 from __future__ import annotations
 
 import json
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .worker import KILL_EXIT_STATUS
 
@@ -76,6 +87,34 @@ def _reap(workers: List[subprocess.Popen]) -> None:
     for worker in workers:
         if worker.poll() is None:
             worker.wait(timeout=10.0)
+
+
+def _journal_ops(journal: Path) -> Dict[str, int]:
+    """Count the intact records per op in a (possibly live) journal."""
+    counts: Dict[str, int] = {}
+    if not journal.exists():
+        return counts
+    for line in journal.read_bytes().splitlines():
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue  # a torn tail mid-write; recovery drops it too
+        if isinstance(record, dict) and "op" in record:
+            counts[record["op"]] = counts.get(record["op"], 0) + 1
+    return counts
+
+
+def _await_journal(journal: Path, wanted: Dict[str, int],
+                   timeout: float = 60.0) -> Dict[str, int]:
+    """Poll until the journal holds at least ``wanted`` records per op."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        counts = _journal_ops(journal)
+        if all(counts.get(op, 0) >= n for op, n in wanted.items()):
+            return counts
+        time.sleep(0.05)
+    raise AssertionError(f"journal never reached {wanted}; "
+                         f"last saw {_journal_ops(journal)}")
 
 
 def _cells_on_disk(cache_dir: Path) -> List[str]:
@@ -178,6 +217,70 @@ def _scenario_pins(address: str, scratch: Path, digests: List[str]) -> None:
           f"{len(digests)} pinned cells kept")
 
 
+def _scenario_broker_crash(scratch: Path, digests: List[str],
+                           run_id: str) -> None:
+    """SIGKILL a journalled broker mid-run; restart it; demand parity.
+
+    The worker drops every cell's first-attempt completion, so by the
+    time the broker dies the journal holds enqueues and dangling leases
+    that only retries can settle — state a memory-only broker would
+    lose unrecoverably.  The restarted broker replays the journal on
+    the same port; the coordinator and worker, which have been
+    reconnecting under backoff the whole time, resume against the
+    rebuilt state, and the run must still reproduce the committed
+    ``run_id``.  Finally the broker gets SIGTERM and must exit 0: the
+    clean-shutdown path flushes and closes the journal.
+    """
+    journal = scratch / "broker.wal"
+    results_dir = scratch / "crash-results"
+    broker = _spawn(["broker", "--port", "0", "--lease-timeout", "3",
+                     "--journal", str(journal)])
+    address = _await_broker(broker)
+    port = address.rsplit(":", 1)[1]
+    drops = [flag for digest in digests
+             for flag in ("--drop", f"{digest}:0")]
+    worker = _spawn(["fleet-worker", "--broker", address,
+                     "--poll", "0.05", *drops])
+    coordinator = _spawn(["run", _BENCH, "--executor", "fleet",
+                          "--broker", address,
+                          "--results-dir", str(results_dir)])
+    restarted: Optional[subprocess.Popen] = None
+    try:
+        try:
+            # Wait for real in-flight state: the full queue plus at
+            # least one live lease — then kill without ceremony.
+            _await_journal(journal, {"enqueue": len(digests), "lease": 1})
+            broker.kill()
+            broker.wait(timeout=10.0)
+            restarted = _spawn(["broker", "--port", port,
+                                "--lease-timeout", "3",
+                                "--journal", str(journal)])
+            assert _await_broker(restarted) == address
+            status = _await_exit(coordinator, timeout=180.0)
+            output = coordinator.stdout.read()
+            assert status == 0, f"coordinator failed ({status}):\n{output}"
+        finally:
+            _reap([broker, worker, coordinator])
+        record = json.loads((results_dir / f"{_STEM}.json").read_text())
+        assert record["run_id"] == run_id, (record["run_id"], run_id)
+        counters = record["fleet"]["counters"]
+        assert counters["replayed"] > 0, counters
+        assert counters["retried"] >= len(digests), counters
+        assert counters["dead"] == 0, counters
+        _assert_diff_clean(results_dir)
+        # The clean-shutdown satellite: SIGTERM -> flush, close, exit 0.
+        restarted.send_signal(signal.SIGTERM)
+        assert _await_exit(restarted, timeout=10.0) == 0, \
+            "SIGTERM did not shut the journalled broker down cleanly"
+        assert _journal_ops(journal), "journal vanished on clean shutdown"
+    finally:
+        if restarted is not None:
+            _reap([restarted])
+    print(f"[fleet-net] broker SIGKILL + journal replay reproduced "
+          f"run_id {run_id} (replayed={counters['replayed']} "
+          f"retried={counters['retried']}); SIGTERM exit 0; diff clean")
+
+
 def main() -> int:
     """Run every networked-fleet scenario against one broker subprocess."""
     baseline = json.loads(_BASELINE.read_text())
@@ -191,9 +294,11 @@ def main() -> int:
             _scenario_chaos(address, scratch, digests, baseline["run_id"])
             _scenario_eviction(address, scratch, digests)
             _scenario_pins(address, scratch, digests)
+            _scenario_broker_crash(scratch, digests, baseline["run_id"])
     finally:
         broker.terminate()
-        broker.wait(timeout=10.0)
+        assert broker.wait(timeout=10.0) == 0, \
+            "SIGTERM did not shut the shared broker down cleanly"
     print("[fleet-net] ok")
     return 0
 

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import threading
 import time
 from typing import List, Optional, Tuple
 
+from ..backoff import BackoffPolicy
 from ..broker import Lease
 from ..faults import FaultSchedule
 from .client import SocketBroker
@@ -60,6 +62,7 @@ class FleetWorker:
                  poll_interval: float = 0.2,
                  idle_exit: Optional[float] = None,
                  heartbeat_interval: Optional[float] = None,
+                 retry: Optional[BackoffPolicy] = None,
                  on_kill=None, label: str = "worker"):
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be > 0, "
@@ -72,12 +75,19 @@ class FleetWorker:
         self.heartbeat_interval = (heartbeat_interval if heartbeat_interval
                                    is not None
                                    else broker.lease_timeout / 3.0)
+        #: Backoff between lease polls while the broker is unreachable
+        #: — a worker outlives broker downtime instead of exiting.
+        self.retry = (retry if retry is not None
+                      else BackoffPolicy(base=0.2, factor=2.0, cap=5.0,
+                                         jitter=0.1))
         self.on_kill = on_kill if on_kill is not None else _default_kill
         self.label = label
         self.leased = 0
         self.completed = 0
         self.dropped = 0
         self.cache_hits = 0
+        self.broker_retries = 0
+        self.abandoned = 0
         self._stop = threading.Event()
 
     def stop(self) -> None:
@@ -85,10 +95,28 @@ class FleetWorker:
         self._stop.set()
 
     def run(self) -> int:
-        """Lease and compute until stopped or idle; returns cells leased."""
+        """Lease and compute until stopped or idle; returns cells leased.
+
+        An unreachable broker does not kill the worker: lease polls are
+        retried under the seeded :attr:`retry` backoff (counted in
+        :attr:`broker_retries`) until the broker returns — restarted
+        from its journal, redelivering idempotently — or ``idle_exit``
+        elapses.
+        """
         idle_since = time.time()
+        outages = 0
         while not self._stop.is_set():
-            lease = self.broker.lease(time.time())
+            try:
+                lease = self.broker.lease(time.time())
+            except (ConnectionError, OSError):
+                self.broker_retries += 1
+                if (self.idle_exit is not None
+                        and time.time() - idle_since >= self.idle_exit):
+                    break
+                self._stop.wait(self.retry.delay("lease", min(outages, 60)))
+                outages += 1
+                continue
+            outages = 0
             if lease is None:
                 if (self.idle_exit is not None
                         and time.time() - idle_since >= self.idle_exit):
@@ -120,8 +148,19 @@ class FleetWorker:
             print(f"[{self.label}] dropped completion "
                   f"cell={lease.key} attempt={lease.attempt}", flush=True)
             return True
-        status = self.broker.complete(lease.lease_id, time.time(),
-                                      values=values, elapsed=elapsed)
+        try:
+            status = self.broker.complete(lease.lease_id, time.time(),
+                                          values=values, elapsed=elapsed)
+        except (ConnectionError, OSError, KeyError):
+            # The broker stayed unreachable past the client's reconnect
+            # window (or restarted without this lease — pre-journal or
+            # post-reset).  Abandon the attempt: the protocol repairs it
+            # like any dropped completion, by expiry and retry.
+            self.abandoned += 1
+            print(f"[{self.label}] abandoned completion "
+                  f"cell={lease.key} attempt={lease.attempt} "
+                  f"(broker unreachable)", flush=True)
+            return True
         if status in ("completed", "late"):
             self.completed += 1
         return True
@@ -203,6 +242,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                           "S seconds")
     parser.add_argument("--poll", type=float, default=0.2, metavar="S",
                         help="seconds between lease polls when idle")
+    parser.add_argument("--reconnect-timeout", type=float, default=30.0,
+                        metavar="S", help="per-call window to ride out an "
+                                          "unreachable broker before a poll "
+                                          "counts as failed (polls then "
+                                          "retry with backoff)")
     parser.add_argument("--idle-exit", type=float, default=None, metavar="S",
                         help="exit after S continuous seconds without work")
     parser.add_argument("--heartbeat-interval", type=float, default=None,
@@ -225,8 +269,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _graceful_exit(signum, frame):  # pragma: no cover - signal path
+    """SIGTERM handler: unwind through the finally blocks and exit 0."""
+    raise SystemExit(0)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run one worker process against a broker until idle or Ctrl-C."""
+    """Run one worker process against a broker until idle or SIGTERM/Ctrl-C.
+
+    Both signals shut down cleanly: the exit line is printed, the
+    broker connection is closed, and the process exits 0.
+    """
     args = _build_parser().parse_args(argv)
     if not args.broker:
         print("error: no broker address (pass --broker HOST:PORT or set "
@@ -252,7 +305,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                            kill=frozenset(args.kill),
                            drop=frozenset(args.drop))
     try:
-        broker = SocketBroker(args.broker)
+        broker = SocketBroker(args.broker,
+                              reconnect_timeout=args.reconnect_timeout)
     except (OSError, ConnectionError, ValueError) as exc:
         print(f"error: cannot reach broker at {args.broker}: {exc}",
               file=sys.stderr)
@@ -264,13 +318,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                          label=label)
     print(f"[{label}] polling broker {args.broker} "
           f"lease_timeout={broker.lease_timeout}", flush=True)
+    signal.signal(signal.SIGTERM, _graceful_exit)
     try:
         worker.run()
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, SystemExit):
         pass
     finally:
         print(f"[{label}] exiting leased={worker.leased} "
               f"completed={worker.completed} dropped={worker.dropped} "
+              f"abandoned={worker.abandoned} "
+              f"broker_retries={worker.broker_retries} "
               f"cache_hits={worker.cache_hits}", flush=True)
         broker.close()
     return 0

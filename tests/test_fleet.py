@@ -375,7 +375,7 @@ class TestFleetStats:
         assert set(payload) == {
             "enqueued", "leased", "duplicated", "heartbeats", "completed",
             "duplicates", "late", "expired", "retried", "dead", "killed",
-            "dropped"}
+            "dropped", "reconnects", "replayed"}
         stats.enqueued = 1
         assert stats.active()
 

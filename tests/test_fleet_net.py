@@ -29,12 +29,15 @@ from repro.evaluation import build_jobs
 from repro.fleet import (
     DEAD,
     DONE,
+    LEASED,
     BackoffPolicy,
+    BrokerBusyError,
     FaultSchedule,
     FleetError,
     FleetExecutor,
     FleetOptions,
     create_fleet_executor,
+    read_journal,
 )
 from repro.fleet.net import (
     BrokerServer,
@@ -371,3 +374,139 @@ class TestFactoryWiring:
     def test_remote_executor_requires_a_broker(self):
         with pytest.raises(ValueError):
             RemoteFleetExecutor(FleetOptions())
+
+
+#: Fast reconnect backoff so the outage tests finish in milliseconds.
+QUICK_RECONNECT = BackoffPolicy(base=0.02, factor=2.0, cap=0.05, jitter=0.0)
+
+
+class TestReconnectAndRecovery:
+    """Broker death: client reconnects, journal replay, refused resets."""
+
+    def test_client_reconnects_across_server_restart(self):
+        first = BrokerServer(lease_timeout=5.0, max_attempts=3).start()
+        port = first.port
+        broker = SocketBroker(first.address, reconnect=QUICK_RECONNECT)
+        assert broker.enqueue("doomed") is True
+        first.stop()
+        # Same port, fresh (journal-less) broker: the client must ride
+        # the severed connection into the replacement transparently.
+        second = BrokerServer(port=port, lease_timeout=5.0,
+                              max_attempts=3).start()
+        try:
+            assert broker.outstanding() == 0  # unjournalled state died
+            assert broker.enqueue("doomed") is True  # and the key is free
+        finally:
+            second.stop()
+        assert broker.reconnects >= 1
+
+    def test_call_fails_once_the_reconnect_deadline_passes(self):
+        server = BrokerServer().start()
+        broker = SocketBroker(server.address, reconnect=QUICK_RECONNECT,
+                              reconnect_timeout=0.3)
+        server.stop()
+        started = time.monotonic()
+        with pytest.raises(ConnectionError, match="unreachable for 0.3s"):
+            broker.outstanding()
+        assert time.monotonic() - started >= 0.3
+
+    def test_reconnect_timeout_must_be_positive(self, server):
+        with pytest.raises(ValueError, match="reconnect_timeout"):
+            SocketBroker(server.address, reconnect_timeout=0.0)
+
+    def test_reset_refused_while_leases_outstanding(self, server):
+        coordinator = SocketBroker(server.address)
+        coordinator.enqueue("busy")
+        assert coordinator.lease(now=time.time()) is not None
+        with pytest.raises(BrokerBusyError, match="reset refused"):
+            SocketBroker(server.address, reset=True)
+        # The in-flight run survived the refused reset untouched.
+        assert coordinator.state("busy") == LEASED
+        forced = SocketBroker(server.address, reset=True, force_reset=True)
+        assert forced.counters["enqueued"] == 0
+
+    def test_worker_retries_lease_polls_while_broker_is_down(self):
+        server = BrokerServer().start()
+        broker = SocketBroker(server.address, reconnect=QUICK_RECONNECT,
+                              reconnect_timeout=0.1)
+        server.stop()
+        worker = FleetWorker(broker, poll_interval=0.01, idle_exit=0.8,
+                             retry=BackoffPolicy(base=0.02, cap=0.05,
+                                                 jitter=0.0))
+        assert worker.run() == 0  # survived the outage, then idled out
+        assert worker.broker_retries >= 2
+
+    def test_journalled_server_restart_resumes_state(self, tmp_path):
+        journal = tmp_path / "broker.wal"
+        first = BrokerServer(lease_timeout=5.0, max_attempts=3,
+                             journal=str(journal)).start()
+        port = first.port
+        broker = SocketBroker(first.address, reconnect=QUICK_RECONNECT)
+        broker.enqueue("persistent", ("point", 1))
+        lease = broker.lease(now=10.0)
+        first.stop()
+        second = BrokerServer(port=port, journal=str(journal)).start()
+        try:
+            # The replayed broker still holds the pre-crash lease; the
+            # client completes it as if nothing happened.
+            assert second.replayed == 2  # enqueue + lease
+            assert broker.state("persistent") == LEASED
+            assert broker.complete(lease.lease_id, now=11.0,
+                                   values=[4.0]) == "completed"
+            assert broker.result("persistent") == ([4.0], None)
+            counters = broker.counters
+            assert counters["replayed"] == 2
+            assert counters["completed"] == 1
+            # A wire reset compacts the journal back to config-only.
+            SocketBroker(second.address, reset=True)
+            assert read_journal(journal)[1] == []
+        finally:
+            second.stop()
+
+    def test_broker_crash_mid_run_replays_and_stays_bit_identical(
+            self, tmp_path):
+        journal = tmp_path / "broker.wal"
+        serial = _run("serial")
+        digests = _grid_digests()
+        # Every first attempt drops its completion, so leases dangle and
+        # the run is guaranteed to still be in flight when we crash.
+        faults = FaultSchedule(drop={(digest, 0) for digest in digests})
+        first = BrokerServer(journal=str(journal), **FAST).start()
+        port = first.port
+        workers, threads = _spawn_workers(first, 2, faults=faults)
+        remote = RemoteFleetExecutor(FleetOptions(
+            broker=first.address, poll_interval=0.02, run_timeout=60.0,
+            **FAST))
+        box = {}
+        coordinator = threading.Thread(
+            target=lambda: box.update(run=_run(remote)), daemon=True)
+        first_stopped = False
+        second = None
+        try:
+            coordinator.start()
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                if (journal.exists()
+                        and b'"op":"lease"' in journal.read_bytes()):
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("no lease was journalled within 30s")
+            first.stop()          # the crash: state survives only on disk
+            first_stopped = True
+            second = BrokerServer(port=port, journal=str(journal)).start()
+            assert second.replayed > 0
+            coordinator.join(timeout=60.0)
+            assert not coordinator.is_alive(), ("networked run did not "
+                                                "settle after the restart")
+            assert box["run"] == serial
+        finally:
+            _reap_workers(workers, threads)
+            if not first_stopped:
+                first.stop()
+            if second is not None:
+                second.stop()
+        assert remote.stats.replayed > 0
+        assert remote.stats.reconnects >= 1
+        assert remote.stats.retried >= len(digests)
+        assert remote.stats.dead == 0
